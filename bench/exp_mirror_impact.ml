@@ -1,0 +1,156 @@
+(* Figures 2, 3 and 4 (§5.1): the impact of oversubscribed mirroring on
+   the original traffic, as the number of congested output ports grows.
+
+   Per congested port there are two senders saturating one receiver
+   (3 hosts), stressing the shared buffer; the monitor port, when
+   mirroring is on, competes for the same buffer. *)
+
+open Exp_common
+
+type observation = {
+  loss_pct : float;
+  lat_median : float; (* ms *)
+  lat_p99 : float;
+  lat_p999 : float;
+  tput_median : float; (* Gbps *)
+  tput_min : float;
+}
+
+let run_once ~mirror ~congested ~seed ~duration =
+  let hosts = 28 in
+  let micro_tb, switch =
+    if mirror then
+      let m = micro_testbed ~hosts ~seed () in
+      (m.tb, m.switch)
+    else micro_no_mirror ~hosts ~seed ()
+  in
+  let senders =
+    List.concat_map (fun g -> [ 3 * g; (3 * g) + 1 ]) (List.init congested Fun.id)
+  in
+  let receivers = List.init congested (fun g -> (3 * g) + 2) in
+  let recorder = record_latencies micro_tb (senders @ receivers) in
+  (* Flow starts are skewed over a few ms, like processes launched by a
+     workload generator, then the system warms up before measurement —
+     the paper measures steady state over seconds. *)
+  let prng = Prng.create ~seed:(seed + 7919) in
+  let flows = ref [] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun src ->
+          Engine.schedule micro_tb.Testbed.engine
+            ~delay:(Prng.int prng (Time.ms 5))
+            (fun () ->
+              flows :=
+                saturating_flow micro_tb ~src ~dst:((3 * g) + 2) :: !flows))
+        [ 3 * g; (3 * g) + 1 ])
+    (List.init congested Fun.id);
+  let warmup = Time.ms 25 in
+  Engine.run ~until:warmup micro_tb.Testbed.engine;
+  (* Snapshot counters, then measure only the steady window. *)
+  let drops0 = Switch.total_data_drops switch in
+  let forwarded0 =
+    List.fold_left
+      (fun acc port -> acc + (Switch.port_stats switch ~port).Switch.tx_packets)
+      0 receivers
+  in
+  recorder.latencies <- [];
+  let acked0 = List.map (fun f -> (f, Flow.bytes_acked f)) !flows in
+  Engine.run ~until:(warmup + duration) micro_tb.Testbed.engine;
+  let drops = Switch.total_data_drops switch - drops0 in
+  let forwarded =
+    List.fold_left
+      (fun acc port -> acc + (Switch.port_stats switch ~port).Switch.tx_packets)
+      0 receivers
+    - forwarded0
+  in
+  let loss_pct =
+    if drops + forwarded = 0 then 0.0
+    else 100.0 *. float_of_int drops /. float_of_int (drops + forwarded)
+  in
+  let lats = List.map ms recorder.latencies in
+  let tputs =
+    List.map
+      (fun (f, before) ->
+        Rate.to_gbps (Rate.of_bytes_per (Flow.bytes_acked f - before) duration))
+      acked0
+  in
+  {
+    loss_pct;
+    lat_median = Stats.median lats;
+    lat_p99 = Stats.percentile 99.0 lats;
+    lat_p999 = Stats.percentile 99.9 lats;
+    tput_median = Stats.median tputs;
+    tput_min = Stats.percentile 0.0 tputs;
+  }
+
+let average obs =
+  let f get = Stats.mean (List.map get obs) in
+  {
+    loss_pct = f (fun o -> o.loss_pct);
+    lat_median = f (fun o -> o.lat_median);
+    lat_p99 = f (fun o -> o.lat_p99);
+    lat_p999 = f (fun o -> o.lat_p999);
+    tput_median = f (fun o -> o.tput_median);
+    tput_min = f (fun o -> o.tput_min);
+  }
+
+let run opts =
+  section "Figures 2-4: impact of oversubscribed mirroring on traffic";
+  let duration = if opts.full then Time.ms 200 else Time.ms 40 in
+  let runs = opts.runs in
+  note "%d congested-port configurations x {mirror, no-mirror} x %d runs, %s each"
+    9 runs (Time.to_string duration);
+  let rows = ref [] in
+  for congested = 1 to 9 do
+    let measure mirror =
+      average
+        (List.init runs (fun r ->
+             run_once ~mirror ~congested ~seed:(opts.seed + r) ~duration))
+    in
+    let m = measure true and n = measure false in
+    rows :=
+      [
+        string_of_int congested;
+        Printf.sprintf "%.3f" m.loss_pct;
+        Printf.sprintf "%.3f" n.loss_pct;
+        Printf.sprintf "%.2f" m.lat_median;
+        Printf.sprintf "%.2f" n.lat_median;
+        Printf.sprintf "%.2f" m.lat_p99;
+        Printf.sprintf "%.2f" n.lat_p99;
+        Printf.sprintf "%.2f" m.lat_p999;
+        Printf.sprintf "%.2f" n.lat_p999;
+        Printf.sprintf "%.2f" m.tput_median;
+        Printf.sprintf "%.2f" n.tput_median;
+        Printf.sprintf "%.2f" m.tput_min;
+        Printf.sprintf "%.2f" n.tput_min;
+      ]
+      :: !rows
+  done;
+  Table.print
+    ~header:
+      [
+        "ports";
+        "loss%/M";
+        "loss%/-";
+        "p50ms/M";
+        "p50ms/-";
+        "p99ms/M";
+        "p99ms/-";
+        "p99.9/M";
+        "p99.9/-";
+        "tputM/M";
+        "tputM/-";
+        "tput0/M";
+        "tput0/-";
+      ]
+    (List.rev !rows);
+  paper "Fig 2: loss grows with congested ports but stays < ~0.16%%,";
+  paper "       slightly higher with mirroring (M) than without (-).";
+  note "(simulated steady-state TCP is cleaner than real hardware: loss";
+  note " here stays near zero over the short default window; the ordering";
+  note " mirror >= no-mirror and the latency structure are the claims)";
+  paper "Fig 3: median and p99 latency FALL as more ports congest (DT";
+  paper "       buffer sharing), and are lower with mirroring; p99.9 is";
+  paper "       higher with mirroring (retransmission delays).";
+  paper "Fig 4: median and tail flow throughput unaffected by mirroring."

@@ -1,0 +1,30 @@
+(* The §9.1 scalability analysis as a printed table. *)
+
+open Exp_common
+module Scalability = Planck.Scalability
+
+let run _opts =
+  section "Sec 9.1: collector requirements at datacenter scale";
+  let show label (p : Scalability.plan) =
+    [
+      label;
+      string_of_int p.Scalability.hosts;
+      string_of_int p.Scalability.switches;
+      string_of_int p.Scalability.collector_servers;
+      Printf.sprintf "%.2f%%" p.Scalability.additional_machines_pct;
+    ]
+  in
+  Table.print
+    ~header:[ "topology"; "hosts"; "switches"; "collector servers"; "extra machines" ]
+    [
+      show "fat-tree k=62" (Scalability.fat_tree_plan ~k:62);
+      show "jellyfish 64-port"
+        (Scalability.jellyfish_plan ~ports:64 ~hosts_per_switch:17
+           ~hosts:59_582);
+      show "fat-tree k=16" (Scalability.fat_tree_plan ~k:16);
+    ];
+  let ft, jf = Scalability.monitor_port_host_cost ~fat_tree_k:62 in
+  note "host-count cost of the monitor port: %.1f%% (fat-tree), %.1f%% (jellyfish)" ft jf;
+  paper "344 collectors for a 59,582-host fat-tree (0.58%% extra machines);";
+  paper "251 for the same-size Jellyfish (0.42%%); monitor ports cost";
+  paper "1.4%% / 5.5%% of host count respectively."

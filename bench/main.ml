@@ -1,0 +1,129 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index), plus Bechamel
+   microbenchmarks of the hot paths.
+
+     dune exec bench/main.exe                 # everything, reduced scale
+     dune exec bench/main.exe -- fig14 fig17  # a subset
+     dune exec bench/main.exe -- --full       # paper-scale (slow)
+     dune exec bench/main.exe -- --list       # what exists
+*)
+
+let experiments : (string * string * (Exp_common.opts -> unit)) list =
+  [
+    ( "table1",
+      "measurement speed comparison (Planck vs published systems)",
+      Exp_table1.run );
+    ( "fig2-4",
+      "impact of oversubscribed mirroring on loss/latency/throughput",
+      Exp_mirror_impact.run );
+    ("fig5-7", "sample burst and inter-arrival structure", Exp_samples.run);
+    ( "fig8-9",
+      "sample latency under congestion and vs oversubscription (+ fig12)",
+      Exp_latency.run );
+    ( "fig10-11",
+      "throughput estimation: smoothing and accuracy",
+      Exp_estimation.run );
+    ( "fig13-16",
+      "shadow-MAC routes, control-loop timeline, ARP vs OpenFlow",
+      Exp_reroute.run );
+    ("fig14-18", "traffic-engineering evaluation", Exp_te.run);
+    ( "sec9-1",
+      "scalability plan: collectors per datacenter",
+      Exp_scalability.run );
+    ( "ablations",
+      "design-choice ablations (arbitration, buffers, estimator, TE)",
+      Exp_ablations.run );
+  ]
+
+let run_selected names opts with_micro =
+  let t0 = Unix.gettimeofday () in
+  let selected =
+    match names with
+    | [] -> experiments
+    | names ->
+        List.filter
+          (fun (name, _, _) ->
+            List.exists
+              (fun n ->
+                n = name
+                || (String.length n < String.length name
+                    && String.sub name 0 (String.length n) = n))
+              names)
+          experiments
+  in
+  if selected = [] && not with_micro then begin
+    Printf.eprintf "no experiment matches %s\n" (String.concat ", " names);
+    exit 1
+  end;
+  List.iter
+    (fun (name, _, run) ->
+      let t = Unix.gettimeofday () in
+      (try run opts
+       with exn ->
+         Printf.printf "  [%s FAILED: %s]\n%!" name (Printexc.to_string exn));
+      Printf.printf "  [%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    selected;
+  if with_micro then Micro.run ();
+  Printf.printf "\nTotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+
+open Cmdliner
+
+let names =
+  let doc =
+    "Experiments to run (prefix match), e.g. fig14. Default: all."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let runs =
+  let doc = "Repetitions for multi-run experiments." in
+  Arg.(value & opt int Exp_common.default_opts.Exp_common.runs
+       & info [ "runs" ] ~doc)
+
+let full =
+  let doc =
+    "Use paper-scale parameters (15-run averages, up to multi-GiB flows). \
+     Slow: expect hours."
+  in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let seed =
+  let doc = "Base random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let list_flag =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let micro_flag =
+  let doc = "Also run the Bechamel microbenchmarks." in
+  Arg.(value & flag & info [ "micro" ] ~doc)
+
+let main names runs full seed list_experiments with_micro =
+  if list_experiments then begin
+    List.iter
+      (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
+      experiments;
+    Printf.printf "%-10s %s\n" "(--micro)" "Bechamel hot-path microbenchmarks"
+  end
+  else begin
+    let opts =
+      {
+        Exp_common.runs;
+        full;
+        seed;
+        verbose = false;
+      }
+    in
+    run_selected names opts with_micro
+  end
+
+let cmd =
+  let doc =
+    "Regenerate the tables and figures of 'Planck: millisecond-scale \
+     monitoring and control for commodity networks' (SIGCOMM 2014)"
+  in
+  Cmd.v
+    (Cmd.info "planck-bench" ~doc)
+    Term.(const main $ names $ runs $ full $ seed $ list_flag $ micro_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,100 @@
+(* Bechamel microbenchmarks of the hot paths: packet wire handling, the
+   rate estimator, the event queue, and switch forwarding. *)
+
+open Bechamel
+open Toolkit
+module Time_u = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Heap = Planck_util.Heap
+module P = Planck_packet.Packet
+module H = Planck_packet.Headers
+module Mac = Planck_packet.Mac
+module Ip = Planck_packet.Ipv4_addr
+module Seq32 = Planck_packet.Seq32
+module Rate_estimator = Planck_collector.Rate_estimator
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+
+let sample_packet =
+  P.tcp ~src_mac:(Mac.host 1) ~dst_mac:(Mac.host 2) ~src_ip:(Ip.host 1)
+    ~dst_ip:(Ip.host 2) ~src_port:1234 ~dst_port:80 ~seq:123456
+    ~ack_seq:654321 ~flags:H.Tcp_flags.ack
+    ~sack:[ (1000, 2000); (3000, 4000) ]
+    ~payload_len:1460 ()
+
+let sample_wire = P.to_wire sample_packet
+
+let test_serialize =
+  Test.make ~name:"packet serialize (to_wire)"
+    (Staged.stage (fun () -> ignore (P.to_wire sample_packet)))
+
+let test_parse =
+  Test.make ~name:"packet parse (collector hot path)"
+    (Staged.stage (fun () ->
+         ignore (P.parse sample_wire ~wire_size:sample_packet.P.wire_size)))
+
+let test_estimator =
+  let estimator = Rate_estimator.create () in
+  let counter = ref 0 in
+  Test.make ~name:"rate estimator update"
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore
+           (Rate_estimator.update estimator
+              ~time:(!counter * 1168)
+              ~seq32:(Seq32.wrap (!counter * 1460)))))
+
+let test_heap =
+  let heap = Heap.create () in
+  let prng = Prng.create ~seed:1 in
+  Test.make ~name:"event heap add+pop"
+    (Staged.stage (fun () ->
+         Heap.add heap ~key:(Prng.int prng 1_000_000) ();
+         ignore (Heap.pop heap)))
+
+let test_switch_forward =
+  let engine = Engine.create () in
+  let sw =
+    Switch.create engine ~name:"bench" ~ports:4
+      ~config:Switch.default_config ()
+  in
+  for port = 0 to 3 do
+    Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:300
+      ~deliver:(fun _ -> ())
+  done;
+  Switch.add_route sw (Mac.host 2) 1;
+  Switch.set_mirror sw ~monitor:3 ~mirrored:[ 0; 1; 2 ];
+  Test.make ~name:"switch ingress+forward+mirror (amortized)"
+    (Staged.stage (fun () ->
+         Switch.ingress sw ~port:0 sample_packet;
+         (* Drain so queues do not grow unboundedly. *)
+         Engine.run engine))
+
+let benchmarks =
+  [ test_serialize; test_parse; test_estimator; test_heap; test_switch_forward ]
+
+let run () =
+  Exp_common.section "Bechamel microbenchmarks (hot paths)";
+  let run_one test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun i -> Analyze.all (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) i raw) instances
+    in
+    let results = Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _measure by_name ->
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                Printf.printf "  %-45s %10.1f ns/op\n%!" name est
+            | _ -> Printf.printf "  %-45s (no estimate)\n%!" name)
+          by_name)
+      results
+  in
+  List.iter run_one benchmarks

@@ -1,0 +1,216 @@
+(* planck-cli: inspect topologies, run workload/scheme experiments, and
+   capture switch vantage points from the command line.
+
+     dune exec bin/planck_cli.exe -- topology
+     dune exec bin/planck_cli.exe -- run --workload stride8 --scheme planck-te
+     dune exec bin/planck_cli.exe -- capture --output /tmp/sw0.pcap
+*)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Table = Planck_util.Table
+module Mac = Planck_packet.Mac
+module Engine = Planck_netsim.Engine
+module Fabric = Planck_topology.Fabric
+module Routing = Planck_topology.Routing
+module Collector = Planck_collector.Collector
+module Te = Planck_controller.Te
+module Reroute = Planck_controller.Reroute
+module Poller = Planck_baselines.Poller
+open Planck
+
+(* ---- topology subcommand ---- *)
+
+let show_topology k seed =
+  let tb = Testbed.create { (Testbed.paper_fat_tree ~seed ()) with
+                            Testbed.topology = Testbed.Fat_tree { k } } in
+  let fabric = tb.Testbed.fabric in
+  Printf.printf "fat-tree k=%d: %d switches, %d hosts, %d routes installed\n" k
+    (Fabric.switch_count fabric) (Fabric.host_count fabric)
+    (Planck_netsim.Switch.route_count (Fabric.switch fabric 0));
+  for sw = 0 to Fabric.switch_count fabric - 1 do
+    let ports =
+      String.concat " "
+        (List.map
+           (fun port ->
+             match Fabric.peer fabric ~switch:sw ~port with
+             | Fabric.To_host h -> Printf.sprintf "p%d:h%d" port h
+             | Fabric.To_switch (s, p) -> Printf.sprintf "p%d:s%d.%d" port s p
+             | Fabric.To_monitor -> Printf.sprintf "p%d:monitor" port
+             | Fabric.Unwired -> Printf.sprintf "p%d:-" port)
+           (List.init (Fabric.switch_ports fabric) Fun.id))
+    in
+    Printf.printf "  s%-2d %s\n" sw ports
+  done;
+  (* Alternate routes for one cross-pod pair. *)
+  let hosts = Fabric.host_count fabric in
+  let src = 0 and dst = hosts / 2 in
+  Printf.printf "routes h%d -> h%d:\n" src dst;
+  for alt = 0 to Routing.alts tb.Testbed.routing - 1 do
+    let mac = Routing.mac_for tb.Testbed.routing ~dst ~alt in
+    let hops = Routing.path tb.Testbed.routing ~src ~dst_mac:mac in
+    Printf.printf "  alt %d (%s): %s\n" alt (Mac.to_string mac)
+      (String.concat " -> "
+         (List.map (fun h -> Printf.sprintf "s%d" h.Routing.switch) hops))
+  done;
+  0
+
+(* ---- run subcommand ---- *)
+
+let parse_workload = function
+  | "stride8" -> Ok (Experiment.Stride 8)
+  | "stride4" -> Ok (Experiment.Stride 4)
+  | "shuffle" -> Ok (Experiment.Shuffle { concurrency = 2 })
+  | "bijection" -> Ok Experiment.Random_bijection
+  | "random" -> Ok Experiment.Random
+  | "staggered" ->
+      Ok (Experiment.Staggered_prob { p_edge = 0.2; p_pod = 0.3 })
+  | s -> Error (Printf.sprintf "unknown workload %s" s)
+
+let parse_scheme = function
+  | "static" -> Ok (`Fabric Scheme.Static)
+  | "planck-te" -> Ok (`Fabric Scheme.planck_te_default)
+  | "planck-te-openflow" ->
+      Ok
+        (`Fabric
+           (Scheme.Planck_te
+              { Te.default_config with Te.mechanism = Reroute.Openflow }))
+  | "poll-1s" -> Ok (`Fabric Scheme.poll_1s)
+  | "poll-100ms" -> Ok (`Fabric Scheme.poll_100ms)
+  | "sflow-te" -> Ok (`Fabric Scheme.sflow_te_default)
+  | "optimal" -> Ok `Optimal
+  | s -> Error (Printf.sprintf "unknown scheme %s" s)
+
+let run_experiment () workload_name scheme_name size_mib runs seed csv =
+  match (parse_workload workload_name, parse_scheme scheme_name) with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok workload, Ok scheme ->
+      let spec, sch =
+        match scheme with
+        | `Fabric s -> (Testbed.paper_fat_tree ~seed (), s)
+        | `Optimal -> (Testbed.optimal ~seed (), Scheme.Static)
+      in
+      let summaries =
+        Experiment.repeat ~runs ~spec ~scheme:sch ~workload
+          ~size:(size_mib * 1024 * 1024) ~horizon:(Time.s 600) ()
+      in
+      let header =
+        [ "run"; "avg_gbps"; "reroutes"; "all_completed"; "flows" ]
+      in
+      let rows =
+        List.mapi
+          (fun i s ->
+            [
+              string_of_int i;
+              Printf.sprintf "%.3f" s.Experiment.avg_goodput_gbps;
+              string_of_int s.Experiment.reroutes;
+              string_of_bool s.Experiment.all_completed;
+              string_of_int (List.length s.Experiment.flows);
+            ])
+          summaries
+      in
+      if csv then print_string (Table.csv ~header rows)
+      else begin
+        Printf.printf "%s / %s, %d MiB flows, %d run(s):\n" workload_name
+          scheme_name size_mib runs;
+        Table.print ~header rows;
+        Printf.printf "mean average flow throughput: %.3f Gbps\n"
+          (Experiment.mean_avg_goodput summaries)
+      end;
+      0
+
+(* ---- capture subcommand ---- *)
+
+let capture output duration_ms seed =
+  let tb = Testbed.create (Testbed.paper_fat_tree ~seed ()) in
+  let collector =
+    Collector.create tb.Testbed.engine ~switch:0 ~routing:tb.Testbed.routing
+      ~link_rate:(Testbed.link_rate tb) ()
+  in
+  Collector.attach collector;
+  (* Some background traffic through switch 0 (an edge switch). *)
+  ignore
+    (Planck_tcp.Flow.start ~src:tb.Testbed.endpoints.(0)
+       ~dst:tb.Testbed.endpoints.(12) ~src_port:40_000 ~dst_port:5_012
+       ~size:(1 lsl 30) ());
+  ignore
+    (Planck_tcp.Flow.start ~src:tb.Testbed.endpoints.(1)
+       ~dst:tb.Testbed.endpoints.(2) ~src_port:40_001 ~dst_port:5_002
+       ~size:(1 lsl 30) ());
+  Engine.run ~until:(Time.ms duration_ms) tb.Testbed.engine;
+  let pcap = Collector.vantage_pcap collector in
+  let oc = open_out_bin output in
+  output_string oc pcap;
+  close_out oc;
+  Printf.printf "wrote %d samples (%d bytes) to %s\n"
+    (Collector.vantage_count collector)
+    (String.length pcap) output;
+  0
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let setup_logs debug =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if debug then Some Logs.Debug else Some Logs.Warning)
+
+let debug_arg =
+  let doc = "Print controller/collector debug logs." in
+  Term.(const setup_logs $ Arg.(value & flag & info [ "debug" ] ~doc))
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let topology_cmd =
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Fat-tree arity.") in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Print the fat-tree wiring and alternate routes")
+    Term.(const show_topology $ k $ seed_arg)
+
+let run_cmd =
+  let workload =
+    Arg.(
+      value & opt string "stride8"
+      & info [ "workload" ]
+          ~doc:"stride8|stride4|shuffle|bijection|random|staggered")
+  in
+  let scheme =
+    Arg.(
+      value & opt string "planck-te"
+      & info [ "scheme" ]
+          ~doc:
+            "static|planck-te|planck-te-openflow|poll-1s|poll-100ms|sflow-te|optimal")
+  in
+  let size =
+    Arg.(value & opt int 50 & info [ "size-mib" ] ~doc:"Flow size in MiB.")
+  in
+  let runs = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Repetitions.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload under a routing scheme")
+    Term.(
+      const run_experiment $ debug_arg $ workload $ scheme $ size $ runs
+      $ seed_arg $ csv)
+
+let capture_cmd =
+  let output =
+    Arg.(
+      value
+      & opt string "/tmp/planck-capture.pcap"
+      & info [ "output"; "o" ] ~doc:"Output pcap path.")
+  in
+  let duration =
+    Arg.(value & opt int 10 & info [ "duration-ms" ] ~doc:"Capture length.")
+  in
+  Cmd.v
+    (Cmd.info "capture" ~doc:"Dump a switch vantage point to pcap")
+    Term.(const capture $ output $ duration $ seed_arg)
+
+let () =
+  let doc = "Planck (SIGCOMM 2014 reproduction) command-line tool" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "planck-cli" ~doc)
+          [ topology_cmd; run_cmd; capture_cmd ]))

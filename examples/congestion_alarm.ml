@@ -1,0 +1,54 @@
+(* Event subscription (paper §3.3): an application that subscribes to
+   link-utilization events and prints them with their flow annotations,
+   without doing any rerouting — the building block for self-tuning
+   network applications.
+
+     dune exec examples/congestion_alarm.exe
+*)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module FK = Planck_packet.Flow_key
+module Ip = Planck_packet.Ipv4_addr
+module Engine = Planck_netsim.Engine
+module Collector = Planck_collector.Collector
+module Controller = Planck_controller.Controller
+module Flow = Planck_tcp.Flow
+open Planck
+
+let () =
+  let tb = Testbed.create (Testbed.paper_fat_tree ()) in
+  let controller =
+    Controller.create tb.Testbed.engine ~routing:tb.Testbed.routing
+      ~link_rate:(Testbed.link_rate tb)
+      ~prng:(Planck_util.Prng.split tb.Testbed.prng)
+      ()
+  in
+  let events = ref 0 in
+  List.iter
+    (fun collector ->
+      Collector.subscribe_congestion collector ~threshold:0.8 (fun e ->
+          incr events;
+          if !events <= 12 then begin
+            Format.printf "%8s  switch s%d port %d at %a of %a:@."
+              (Time.to_string e.Collector.time)
+              e.Collector.switch e.Collector.port Rate.pp
+              e.Collector.utilization Rate.pp e.Collector.capacity;
+            List.iter
+              (fun (key, rate, _mac) ->
+                Format.printf "            %a:%d -> %a:%d at %a@." Ip.pp
+                  key.FK.src_ip key.FK.src_port Ip.pp key.FK.dst_ip
+                  key.FK.dst_port Rate.pp rate)
+              e.Collector.flows
+          end))
+    (Controller.collectors controller);
+
+  (* Two flows that collide on their base routes. *)
+  ignore
+    (Flow.start ~src:tb.Testbed.endpoints.(0) ~dst:tb.Testbed.endpoints.(8)
+       ~src_port:40_001 ~dst_port:5_008 ~size:(30 * 1024 * 1024) ());
+  ignore
+    (Flow.start ~src:tb.Testbed.endpoints.(1) ~dst:tb.Testbed.endpoints.(9)
+       ~src_port:40_002 ~dst_port:5_009 ~size:(30 * 1024 * 1024) ());
+  Engine.run ~until:(Time.ms 60) tb.Testbed.engine;
+  Format.printf "@.%d congestion events total (first 12 shown)@." !events

@@ -1,0 +1,58 @@
+(* Traffic engineering on the paper's 16-host fat-tree: a stride(8)
+   workload collides pairwise on the PAST base routes; the Planck-driven
+   TE application detects the congestion from mirrored samples and flips
+   flows to shadow-MAC alternates with spoofed ARP messages — watch the
+   reroutes happen within milliseconds of the flows starting.
+
+     dune exec examples/traffic_engineering.exe
+*)
+
+module Time = Planck_util.Time
+module Mac = Planck_packet.Mac
+module Ip = Planck_packet.Ipv4_addr
+module FK = Planck_packet.Flow_key
+module Engine = Planck_netsim.Engine
+module Controller = Planck_controller.Controller
+module Te = Planck_controller.Te
+open Planck
+
+let () =
+  let tb = Testbed.create (Testbed.paper_fat_tree ()) in
+
+  (* The Planck controller: one collector per switch, mirroring on. *)
+  let controller =
+    Controller.create tb.Testbed.engine ~routing:tb.Testbed.routing
+      ~link_rate:(Testbed.link_rate tb)
+      ~prng:(Planck_util.Prng.split tb.Testbed.prng)
+      ()
+  in
+  let te = Controller.start_te controller () in
+  Te.on_reroute te (fun time key ~old_mac ~new_mac ->
+      let _, old_alt = Mac.base_of_shadow old_mac in
+      let _, new_alt = Mac.base_of_shadow new_mac in
+      Format.printf "  %8s  reroute %a -> %a from route %d to route %d@."
+        (Time.to_string time) Ip.pp key.FK.src_ip Ip.pp key.FK.dst_ip old_alt
+        new_alt);
+
+  (* stride(8): host x sends 50 MiB to host x+8 — every flow crosses
+     the core, and base routes collide pairwise. *)
+  Format.printf "starting stride(8), 50 MiB per flow:@.";
+  let results =
+    Workloads.Runner.run_pairs tb.Testbed.engine
+      ~endpoints:tb.Testbed.endpoints
+      ~pairs:(Workloads.Generate.stride ~hosts:16 ~k:8)
+      ~size:(50 * 1024 * 1024) ~horizon:(Time.s 5) ()
+  in
+  Format.printf "@.%d reroutes; per-flow goodput:@." (Te.reroutes te);
+  List.iter
+    (fun r ->
+      match r.Workloads.Runner.goodput with
+      | Some g ->
+          Format.printf "  h%-2d -> h%-2d  %5.2f Gbps@." r.Workloads.Runner.src
+            r.Workloads.Runner.dst
+            (Planck_util.Rate.to_gbps g)
+      | None -> Format.printf "  h%-2d -> h%-2d  incomplete@."
+            r.Workloads.Runner.src r.Workloads.Runner.dst)
+    results;
+  Format.printf "average: %.2f Gbps (static routing gives ~4.6; optimal ~8.6)@."
+    (Workloads.Runner.average_goodput_gbps results)

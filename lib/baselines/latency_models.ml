@@ -1,0 +1,56 @@
+module Time = Planck_util.Time
+
+type entry = {
+  system : string;
+  speed_min : Time.t;
+  speed_max : Time.t;
+  estimated : bool;
+  citation : string;
+}
+
+let published =
+  [
+    {
+      system = "Helios";
+      speed_min = Time.us 77_400;
+      speed_max = Time.us 77_400;
+      estimated = false;
+      citation = "Farrington et al., SIGCOMM 2010";
+    };
+    {
+      system = "sFlow/OpenSample";
+      speed_min = Time.ms 100;
+      speed_max = Time.ms 100;
+      estimated = false;
+      citation = "Suh et al., ICDCS 2014";
+    };
+    {
+      system = "Mahout Polling (implementing Hedera)";
+      speed_min = Time.ms 190;
+      speed_max = Time.ms 190;
+      estimated = true;
+      citation = "Curtis et al., INFOCOM 2011";
+    };
+    {
+      system = "DevoFlow Polling";
+      speed_min = Time.ms 500;
+      speed_max = Time.s 15;
+      estimated = true;
+      citation = "Curtis et al., SIGCOMM 2011";
+    };
+    {
+      system = "Hedera";
+      speed_min = Time.s 5;
+      speed_max = Time.s 5;
+      estimated = false;
+      citation = "Al-Fares et al., NSDI 2010";
+    };
+  ]
+
+let slowdown entry ~reference =
+  let r = float_of_int reference in
+  (float_of_int entry.speed_min /. r, float_of_int entry.speed_max /. r)
+
+let pp_speed ppf entry =
+  if entry.speed_min = entry.speed_max then Time.pp ppf entry.speed_min
+  else Format.fprintf ppf "%a-%a" Time.pp entry.speed_min Time.pp entry.speed_max

@@ -1,0 +1,25 @@
+(** Measurement-latency figures for the systems Planck is compared to in
+    Table 1.
+
+    These are the literature values the paper itself tabulates (it did
+    not re-run Helios or Hedera either); the Planck rows are measured
+    live by the [table1] bench and compared against these. *)
+
+type entry = {
+  system : string;
+  speed_min : Planck_util.Time.t;
+  speed_max : Planck_util.Time.t;
+  estimated : bool;
+      (** true for the † rows: reported values or estimates, not the
+          primary implementation of the cited work *)
+  citation : string;
+}
+
+val published : entry list
+(** Helios, sFlow/OpenSample, Mahout polling, DevoFlow polling, Hedera. *)
+
+val slowdown : entry -> reference:Planck_util.Time.t -> float * float
+(** [(min, max)] slowdown of [entry] relative to a Planck measurement
+    latency (the "Slowdown vs 10 Gbps Planck" column). *)
+
+val pp_speed : Format.formatter -> entry -> unit

@@ -1,0 +1,119 @@
+module Rate = Planck_util.Rate
+module Flow_key = Planck_packet.Flow_key
+module Mac = Planck_packet.Mac
+module Ipv4_addr = Planck_packet.Ipv4_addr
+module Routing = Planck_topology.Routing
+
+type flow = { key : Flow_key.t; rate : Rate.t; current_mac : Mac.t }
+
+type cell = { flow : flow; mutable demand : float; mutable limited : bool }
+
+let group_by of_cell cells =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let k = of_cell c in
+      Hashtbl.replace groups k
+        (c :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    cells;
+  groups
+
+(* Hedera's iteration: senders spread their capacity equally over their
+   unconverged flows; oversubscribed receivers cap their flows and mark
+   them converged. *)
+let estimate_demands ~link_rate flows =
+  let host_of ip = Option.value ~default:(-1) (Ipv4_addr.host_id ip) in
+  let cells =
+    List.map (fun f -> { flow = f; demand = f.rate; limited = false }) flows
+  in
+  let senders = group_by (fun c -> host_of c.flow.key.Flow_key.src_ip) cells in
+  let receivers =
+    group_by (fun c -> host_of c.flow.key.Flow_key.dst_ip) cells
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 50 do
+    changed := false;
+    incr rounds;
+    Hashtbl.iter
+      (fun _ cs ->
+        let fixed, free = List.partition (fun c -> c.limited) cs in
+        let used = List.fold_left (fun a c -> a +. c.demand) 0.0 fixed in
+        match free with
+        | [] -> ()
+        | free ->
+            let share =
+              max 0.0 (link_rate -. used) /. float_of_int (List.length free)
+            in
+            List.iter
+              (fun c ->
+                if abs_float (c.demand -. share) > 1.0 then begin
+                  c.demand <- share;
+                  changed := true
+                end)
+              free)
+      senders;
+    Hashtbl.iter
+      (fun _ cs ->
+        let total = List.fold_left (fun a c -> a +. c.demand) 0.0 cs in
+        if total > link_rate +. 1.0 then begin
+          let share = link_rate /. float_of_int (List.length cs) in
+          List.iter
+            (fun c ->
+              if (not c.limited) || abs_float (c.demand -. share) > 1.0
+              then begin
+                c.demand <- min c.demand share;
+                c.limited <- true;
+                changed := true
+              end)
+            cs
+        end)
+      receivers
+  done;
+  List.map (fun c -> (c.flow, c.demand)) cells
+
+let path_links routing ~src ~mac =
+  match Routing.path routing ~src ~dst_mac:mac with
+  | exception Invalid_argument _ -> []
+  | hops -> Routing.links_of_path hops
+
+let global_first_fit ~routing ~link_rate flows =
+  let demands = estimate_demands ~link_rate flows in
+  let loads : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let load link = Option.value ~default:0.0 (Hashtbl.find_opt loads link) in
+  let add links demand =
+    List.iter (fun l -> Hashtbl.replace loads l (load l +. demand)) links
+  in
+  let fits links demand =
+    links <> []
+    && List.for_all (fun l -> load l +. demand <= link_rate) links
+  in
+  let moves = ref [] in
+  let place (flow, demand) =
+    match
+      ( Ipv4_addr.host_id flow.key.Flow_key.src_ip,
+        Ipv4_addr.host_id flow.key.Flow_key.dst_ip )
+    with
+    | Some src, Some dst ->
+        let candidates =
+          flow.current_mac
+          :: List.filter_map
+               (fun alt ->
+                 let mac = Routing.mac_for routing ~dst ~alt in
+                 if Mac.equal mac flow.current_mac then None else Some mac)
+               (List.init (Routing.alts routing) Fun.id)
+        in
+        let chosen =
+          List.find_opt
+            (fun mac -> fits (path_links routing ~src ~mac) demand)
+            candidates
+        in
+        let mac = Option.value ~default:flow.current_mac chosen in
+        add (path_links routing ~src ~mac) demand;
+        if not (Mac.equal mac flow.current_mac) then
+          moves := (flow, mac) :: !moves
+    | _ -> ()
+  in
+  List.iter place
+    (List.sort (fun (_, a) (_, b) -> compare b a) demands);
+  List.rev !moves

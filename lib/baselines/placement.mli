@@ -1,0 +1,30 @@
+(** Shared placement logic for the measurement-driven baselines:
+    Hedera's natural-demand estimation followed by Global First Fit
+    over the pre-installed alternate routes.
+
+    Both the counter-polling scheme ({!Poller}) and the sFlow-driven
+    scheme ({!Sflow_te}) feed their measured elephants through this —
+    the schemes differ only in how (and how stale) the measurements
+    are, which is exactly the comparison the paper makes. *)
+
+type flow = {
+  key : Planck_packet.Flow_key.t;
+  rate : Planck_util.Rate.t;  (** measured rate *)
+  current_mac : Planck_packet.Mac.t;  (** route currently in use *)
+}
+
+val estimate_demands :
+  link_rate:Planck_util.Rate.t -> flow list -> (flow * Planck_util.Rate.t) list
+(** Hedera's max-min natural-demand estimation: iterate sender-side
+    equal shares and receiver-side capping to a fixed point. Returns
+    each flow with its estimated demand. *)
+
+val global_first_fit :
+  routing:Planck_topology.Routing.t ->
+  link_rate:Planck_util.Rate.t ->
+  flow list ->
+  (flow * Planck_packet.Mac.t) list
+(** Place every flow (largest demand first) on the first candidate path
+    — current route, then alternates in order — with room for its
+    demand. Returns the flows whose placement differs from their
+    current route, with the chosen new MAC. *)

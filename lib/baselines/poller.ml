@@ -1,0 +1,142 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Engine = Planck_netsim.Engine
+module Flow_key = Planck_packet.Flow_key
+module Mac = Planck_packet.Mac
+module Ipv4_addr = Planck_packet.Ipv4_addr
+module Routing = Planck_topology.Routing
+module Fabric = Planck_topology.Fabric
+module Control_channel = Planck_openflow.Control_channel
+module Flow_stats = Planck_openflow.Flow_stats
+module Reroute = Planck_controller.Reroute
+
+let log = Logs.Src.create "planck.poller" ~doc:"Polling TE baseline"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  period : Time.t;
+  elephant_threshold : float;
+  mechanism : Reroute.mechanism;
+}
+
+let default_config =
+  { period = Time.s 1; elephant_threshold = 0.1; mechanism = Reroute.Arp }
+
+type t = {
+  engine : Engine.t;
+  routing : Routing.t;
+  channel : Control_channel.t;
+  link_rate : Rate.t;
+  config : config;
+  edges : (int * Flow_stats.t) list;
+  (* Per-switch previous counter readings, for deltas. *)
+  prev : (int, int Flow_key.Table.t) Hashtbl.t;
+  mutable last_poll_at : Time.t;
+  mutable polls : int;
+  mutable reroutes : int;
+}
+
+let is_edge fabric ~switch =
+  List.exists
+    (fun port ->
+      match Fabric.peer fabric ~switch ~port with
+      | Fabric.To_host _ -> true
+      | Fabric.To_switch _ | Fabric.To_monitor | Fabric.Unwired -> false)
+    (Fabric.data_ports fabric ~switch)
+
+(* A flow is counted at its source host's edge switch only, so that the
+   same flow polled at several switches is not double-counted. *)
+let counts_here fabric ~switch (key : Flow_key.t) =
+  match Ipv4_addr.host_id key.src_ip with
+  | None -> false
+  | Some src -> fst (Fabric.host_attachment fabric ~host:src) = switch
+
+let handle_replies t ~elapsed replies =
+  let measured = ref [] in
+  List.iter
+    (fun (switch, counters) ->
+      let prev =
+        match Hashtbl.find_opt t.prev switch with
+        | Some table -> table
+        | None ->
+            let table = Flow_key.Table.create 32 in
+            Hashtbl.replace t.prev switch table;
+            table
+      in
+      List.iter
+        (fun (c : Flow_stats.counter) ->
+          if counts_here (Routing.fabric t.routing) ~switch c.key then begin
+            let before =
+              Option.value ~default:0 (Flow_key.Table.find_opt prev c.key)
+            in
+            Flow_key.Table.replace prev c.key c.bytes;
+            let delta = c.bytes - before in
+            if delta > 0 && elapsed > 0 then begin
+              let rate = Rate.of_bytes_per delta elapsed in
+              if rate >= t.config.elephant_threshold *. t.link_rate then
+                measured :=
+                  { Placement.key = c.key; rate; current_mac = c.dst_mac }
+                  :: !measured
+            end
+          end)
+        counters)
+    replies;
+  let moves =
+    Placement.global_first_fit ~routing:t.routing ~link_rate:t.link_rate
+      !measured
+  in
+  Log.debug (fun m ->
+      m "poll %d: %d elephants, %d moves" t.polls (List.length !measured)
+        (List.length moves));
+  List.iter
+    (fun (flow, mac) ->
+      t.reroutes <- t.reroutes + 1;
+      Reroute.apply t.config.mechanism ~channel:t.channel ~routing:t.routing
+        ~key:flow.Placement.key ~new_mac:mac)
+    moves
+
+let poll_round t =
+  t.polls <- t.polls + 1;
+  let started = Engine.now t.engine in
+  let elapsed = started - t.last_poll_at in
+  t.last_poll_at <- started;
+  let expected = List.length t.edges in
+  let replies = ref [] in
+  List.iter
+    (fun (switch, stats) ->
+      Flow_stats.poll stats ~channel:t.channel (fun counters ->
+          replies := (switch, counters) :: !replies;
+          if List.length !replies = expected then
+            handle_replies t ~elapsed !replies))
+    t.edges
+
+let create engine ~routing ~channel ~link_rate ?(config = default_config) () =
+  let fabric = Routing.fabric routing in
+  let edges =
+    List.filter_map
+      (fun switch ->
+        if is_edge fabric ~switch then
+          Some (switch, Flow_stats.attach (Fabric.switch fabric switch))
+        else None)
+      (List.init (Fabric.switch_count fabric) Fun.id)
+  in
+  let t =
+    {
+      engine;
+      routing;
+      channel;
+      link_rate;
+      config;
+      edges;
+      prev = Hashtbl.create 8;
+      last_poll_at = Engine.now engine;
+      polls = 0;
+      reroutes = 0;
+    }
+  in
+  Engine.every engine ~period:config.period (fun () -> poll_round t);
+  t
+
+let polls t = t.polls
+let reroutes t = t.reroutes

@@ -1,0 +1,37 @@
+(** Polling-based traffic engineering — the Hedera-style comparators
+    ("Poll-1s", "Poll-0.1s") of paper §7.1.
+
+    Every [period] the controller reads the OpenFlow flow counters of
+    every edge switch (paying the control channel's read latency),
+    derives flow rates from counter deltas, and runs {e Global First
+    Fit}: flows above the elephant threshold, largest first, are placed
+    on the first pre-installed path with enough spare capacity for
+    their measured rate. Placements that differ from a flow's current
+    route trigger a reroute over the same mechanism as PlanckTE, so the
+    only difference under test is measurement latency. *)
+
+type config = {
+  period : Planck_util.Time.t;
+  elephant_threshold : float;
+      (** ignore flows below this fraction of link rate (Hedera: 0.1) *)
+  mechanism : Planck_controller.Reroute.mechanism;
+}
+
+val default_config : config
+(** 1 s period, 0.1 threshold, ARP mechanism. *)
+
+type t
+
+val create :
+  Planck_netsim.Engine.t ->
+  routing:Planck_topology.Routing.t ->
+  channel:Planck_openflow.Control_channel.t ->
+  link_rate:Planck_util.Rate.t ->
+  ?config:config ->
+  unit ->
+  t
+(** Attaches flow counters to every edge switch (switches with at least
+    one host-facing port) and starts the polling loop. *)
+
+val polls : t -> int
+val reroutes : t -> int

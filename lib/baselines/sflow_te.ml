@@ -1,0 +1,118 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Flow_key = Planck_packet.Flow_key
+module Mac = Planck_packet.Mac
+module Ipv4_addr = Planck_packet.Ipv4_addr
+module Routing = Planck_topology.Routing
+module Fabric = Planck_topology.Fabric
+module Control_channel = Planck_openflow.Control_channel
+module Agent = Planck_sflow.Agent
+module Estimator = Planck_sflow.Estimator
+module Reroute = Planck_controller.Reroute
+
+type config = {
+  period : Time.t;
+  window : Time.t;
+  elephant_threshold : float;
+  mechanism : Reroute.mechanism;
+  agent : Agent.config;
+}
+
+let default_config =
+  {
+    period = Time.ms 100;
+    window = Time.s 1;
+    elephant_threshold = 0.1;
+    mechanism = Reroute.Arp;
+    agent = Agent.default_config;
+  }
+
+type t = {
+  engine : Engine.t;
+  routing : Routing.t;
+  channel : Control_channel.t;
+  link_rate : Rate.t;
+  config : config;
+  estimator : Estimator.t;
+  (* Flows recently sampled, with the routing MAC last seen. *)
+  seen : (Flow_key.t, Mac.t) Hashtbl.t;
+  mutable samples : int;
+  mutable rounds : int;
+  mutable reroutes : int;
+}
+
+let is_edge fabric ~switch =
+  List.exists
+    (fun port ->
+      match Fabric.peer fabric ~switch ~port with
+      | Fabric.To_host _ -> true
+      | Fabric.To_switch _ | Fabric.To_monitor | Fabric.Unwired -> false)
+    (Fabric.data_ports fabric ~switch)
+
+(* Count each flow at its source edge switch only. *)
+let counts_at fabric ~switch (key : Flow_key.t) =
+  match Ipv4_addr.host_id key.src_ip with
+  | None -> false
+  | Some src -> fst (Fabric.host_attachment fabric ~host:src) = switch
+
+let control_round t =
+  t.rounds <- t.rounds + 1;
+  let now = Engine.now t.engine in
+  let elephants =
+    Hashtbl.fold
+      (fun key mac acc ->
+        let rate = Estimator.flow_rate t.estimator ~now key in
+        if rate >= t.config.elephant_threshold *. t.link_rate then
+          { Placement.key; rate; current_mac = mac } :: acc
+        else acc)
+      t.seen []
+  in
+  List.iter
+    (fun (flow, mac) ->
+      t.reroutes <- t.reroutes + 1;
+      Hashtbl.replace t.seen flow.Placement.key mac;
+      Reroute.apply t.config.mechanism ~channel:t.channel ~routing:t.routing
+        ~key:flow.Placement.key ~new_mac:mac)
+    (Placement.global_first_fit ~routing:t.routing ~link_rate:t.link_rate
+       elephants)
+
+let create engine ~routing ~channel ~link_rate ?(config = default_config)
+    ~prng () =
+  let fabric = Routing.fabric routing in
+  let t =
+    {
+      engine;
+      routing;
+      channel;
+      link_rate;
+      config;
+      estimator = Estimator.create ~window:config.window ();
+      seen = Hashtbl.create 64;
+      samples = 0;
+      rounds = 0;
+      reroutes = 0;
+    }
+  in
+  for switch = 0 to Fabric.switch_count fabric - 1 do
+    if is_edge fabric ~switch then
+      ignore
+        (Agent.attach engine (Fabric.switch fabric switch) ~config:config.agent
+           ~prng:(Prng.split prng)
+           ~collector:(fun sample ->
+             t.samples <- t.samples + 1;
+             Estimator.add t.estimator sample;
+             match sample.Agent.key with
+             | Some key when counts_at fabric ~switch key ->
+                 if not (Hashtbl.mem t.seen key) then
+                   Hashtbl.replace t.seen key sample.Agent.dst_mac
+             | Some _ | None -> ())
+           ())
+  done;
+  Engine.every engine ~period:config.period (fun () -> control_round t);
+  t
+
+let rounds t = t.rounds
+let reroutes t = t.reroutes
+let samples_received t = t.samples

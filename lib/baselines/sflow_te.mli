@@ -1,0 +1,39 @@
+(** OpenSample-style traffic engineering: the same Global First Fit
+    loop as {!Poller}, but fed by control-plane sFlow samples instead
+    of flow counters (Suh et al., ICDCS 2014; paper §2.1/§8).
+
+    Each edge switch runs an sFlow agent whose export rate is capped by
+    its control-plane CPU (~300 samples/s); a 100 ms control loop
+    estimates elephants by multiply-by-N over an aggregation window.
+    Because the CPU cap throttles *after* the 1-in-N selection, the
+    effective sampling rate is unknown and the estimates are heavily
+    distorted — the measurement pathology that motivates Planck. *)
+
+type config = {
+  period : Planck_util.Time.t;  (** control loop, 100 ms in OpenSample *)
+  window : Planck_util.Time.t;  (** sample aggregation window *)
+  elephant_threshold : float;
+  mechanism : Planck_controller.Reroute.mechanism;
+  agent : Planck_sflow.Agent.config;
+}
+
+val default_config : config
+(** 100 ms loop, 1 s window, 0.1 threshold, ARP, default sFlow agent
+    (1-in-256, 300 samples/s cap). *)
+
+type t
+
+val create :
+  Planck_netsim.Engine.t ->
+  routing:Planck_topology.Routing.t ->
+  channel:Planck_openflow.Control_channel.t ->
+  link_rate:Planck_util.Rate.t ->
+  ?config:config ->
+  prng:Planck_util.Prng.t ->
+  unit ->
+  t
+(** Attach sFlow agents to every edge switch and start the loop. *)
+
+val rounds : t -> int
+val reroutes : t -> int
+val samples_received : t -> int

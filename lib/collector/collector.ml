@@ -1,0 +1,330 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Ring = Planck_util.Ring
+module Engine = Planck_netsim.Engine
+module Sink = Planck_netsim.Sink
+module Packet = Planck_packet.Packet
+module Headers = Planck_packet.Headers
+module Flow_key = Planck_packet.Flow_key
+module Mac = Planck_packet.Mac
+module Ipv4_addr = Planck_packet.Ipv4_addr
+module Pcap = Planck_packet.Pcap
+module Routing = Planck_topology.Routing
+module Fabric = Planck_topology.Fabric
+
+let log = Logs.Src.create "planck.collector" ~doc:"Planck collector"
+
+module Log = (val Logs.src_log log)
+
+type sample = {
+  rx : Time.t;
+  arrival : Time.t;
+  packet : Packet.t;
+  key : Flow_key.t option;
+  payload : int;
+  seq32 : int option;
+  in_port : int;
+  out_port : int;
+}
+
+type flow_event_kind = Flow_started | Flow_ended
+
+type flow_event = { time : Time.t; flow : Flow_key.t; kind : flow_event_kind }
+
+type congestion = {
+  time : Time.t;
+  switch : int;
+  port : int;
+  utilization : Rate.t;
+  capacity : Rate.t;
+  flows : (Flow_key.t * Rate.t * Mac.t) list;
+}
+
+type config = {
+  min_gap : Time.t;
+  max_burst : Time.t;
+  flow_timeout : Time.t;
+  event_cooldown : Time.t;
+  vantage_capacity : int;
+  ring_capacity : int;
+  poll_interval : Time.t;
+}
+
+let default_config =
+  {
+    min_gap = Time.us 200;
+    max_burst = Time.us 700;
+    flow_timeout = Time.ms 10;
+    event_cooldown = Time.ms 1;
+    vantage_capacity = 8192;
+    ring_capacity = 2048;
+    poll_interval = Time.us 25;
+  }
+
+type subscription = { threshold : float; callback : congestion -> unit }
+
+type t = {
+  engine : Engine.t;
+  switch : int;
+  routing : Routing.t;
+  link_rate : Rate.t;
+  config : config;
+  flows : Flow_table.t;
+  mutable sink : Sink.t option;
+  (* (src ip, routing dst MAC) -> (in_port, out_port) at this switch;
+     trees are static so entries never go stale. *)
+  port_cache : (int * Mac.t, int * int) Hashtbl.t;
+  vantage : (Time.t * Packet.t) Ring.t;
+  mutable subscriptions : subscription list;
+  mutable taps : (sample -> unit) list;
+  mutable flow_event_subs : (flow_event -> unit) list;
+  mutable estimate_hooks : (Flow_key.t -> Rate.t -> Time.t -> unit) list;
+  last_event : (int, Time.t) Hashtbl.t; (* port -> last event time *)
+  mutable samples_seen : int;
+  mutable data_samples : int;
+  mutable parse_errors : int;
+}
+
+let create engine ~switch ~routing ~link_rate ?(config = default_config) () =
+  {
+    engine;
+    switch;
+    routing;
+    link_rate;
+    config;
+    flows = Flow_table.create ~timeout:config.flow_timeout ();
+    sink = None;
+    port_cache = Hashtbl.create 256;
+    vantage = Ring.create ~capacity:config.vantage_capacity;
+    subscriptions = [];
+    taps = [];
+    flow_event_subs = [];
+    estimate_hooks = [];
+    last_event = Hashtbl.create 16;
+    samples_seen = 0;
+    data_samples = 0;
+    parse_errors = 0;
+  }
+
+let switch_id t = t.switch
+
+(* ---- Port inference (§4.2) ---- *)
+
+let infer_ports t ~src_ip ~dst_mac =
+  let cache_key = (Ipv4_addr.to_int src_ip, dst_mac) in
+  match Hashtbl.find_opt t.port_cache cache_key with
+  | Some ports -> ports
+  | None ->
+      let ports =
+        match Ipv4_addr.host_id src_ip with
+        | None -> (-1, -1)
+        | Some src -> (
+            match Routing.path t.routing ~src ~dst_mac with
+            | exception Invalid_argument _ -> (-1, -1)
+            | hops -> (
+                match
+                  List.find_opt
+                    (fun hop -> hop.Routing.switch = t.switch)
+                    hops
+                with
+                | Some hop -> (hop.Routing.in_port, hop.Routing.out_port)
+                | None -> (-1, -1)))
+      in
+      Hashtbl.replace t.port_cache cache_key ports;
+      ports
+
+(* ---- Event generation ---- *)
+
+let link_utilization t ~port =
+  let now = Engine.now t.engine in
+  List.fold_left
+    (fun acc entry -> acc +. Flow_table.rate entry)
+    0.0
+    (Flow_table.active_on_port t.flows ~now ~out_port:port)
+
+let flows_on_port t ~port =
+  let now = Engine.now t.engine in
+  List.map
+    (fun entry ->
+      (entry.Flow_table.key, Flow_table.rate entry, entry.Flow_table.dst_mac))
+    (Flow_table.active_on_port t.flows ~now ~out_port:port)
+
+let check_congestion t ~port =
+  if port >= 0 && t.subscriptions <> [] then begin
+    let now = Engine.now t.engine in
+    let cooled =
+      match Hashtbl.find_opt t.last_event port with
+      | Some last -> now - last >= t.config.event_cooldown
+      | None -> true
+    in
+    if cooled then begin
+      let utilization = link_utilization t ~port in
+      let interested =
+        List.filter
+          (fun sub -> utilization >= sub.threshold *. t.link_rate)
+          t.subscriptions
+      in
+      if interested <> [] then begin
+        Log.debug (fun m ->
+            m "s%d: port %d utilization %.2f Gbps crossed a threshold"
+              t.switch port (utilization /. 1e9));
+        Hashtbl.replace t.last_event port now;
+        let event =
+          {
+            time = now;
+            switch = t.switch;
+            port;
+            utilization;
+            capacity = t.link_rate;
+            flows = flows_on_port t ~port;
+          }
+        in
+        List.iter (fun sub -> sub.callback event) interested
+      end
+    end
+  end
+
+(* ---- Sample processing ---- *)
+
+let process t (record : Sink.record) =
+  t.samples_seen <- t.samples_seen + 1;
+  match Packet.parse record.Sink.wire ~wire_size:record.Sink.wire_size with
+  | None -> t.parse_errors <- t.parse_errors + 1
+  | Some packet ->
+      if Ring.is_full t.vantage then ignore (Ring.pop t.vantage);
+      ignore (Ring.push t.vantage (record.Sink.rx, packet));
+      let key = Flow_key.of_packet packet in
+      let payload = Packet.tcp_payload_len packet in
+      let seq32 =
+        match Packet.tcp_headers packet with
+        | Some (_, tcp) -> Some tcp.Headers.Tcp.seq
+        | None -> None
+      in
+      let in_port, out_port =
+        match key with
+        | Some k -> infer_ports t ~src_ip:k.Flow_key.src_ip
+                      ~dst_mac:(Packet.dst_mac packet)
+        | None -> (-1, -1)
+      in
+      (match key with
+      | Some key when t.flow_event_subs <> [] -> (
+          match Packet.tcp_headers packet with
+          | Some (_, tcp) ->
+              let f = tcp.Headers.Tcp.flags in
+              let kind =
+                if f.Headers.Tcp_flags.syn then Some Flow_started
+                else if f.Headers.Tcp_flags.fin || f.Headers.Tcp_flags.rst
+                then Some Flow_ended
+                else None
+              in
+              (match kind with
+              | Some kind ->
+                  let event = { time = record.Sink.rx; flow = key; kind } in
+                  List.iter (fun sub -> sub event) t.flow_event_subs
+              | None -> ())
+          | None -> ())
+      | Some _ | None -> ());
+      (match (key, seq32) with
+      | Some key, Some seq32 when payload > 0 ->
+          t.data_samples <- t.data_samples + 1;
+          let entry =
+            Flow_table.touch t.flows ~key ~time:record.Sink.rx
+              ~max_rate:t.link_rate
+              ~dst_mac:(Packet.dst_mac packet)
+              ()
+          in
+          entry.Flow_table.in_port <- in_port;
+          entry.Flow_table.out_port <- out_port;
+          entry.Flow_table.sampled_packets <-
+            entry.Flow_table.sampled_packets + 1;
+          entry.Flow_table.sampled_bytes <-
+            entry.Flow_table.sampled_bytes + payload;
+          Flow_table.note_seq entry ~seq32 ~payload;
+          (match
+             Rate_estimator.update entry.Flow_table.estimator
+               ~time:record.Sink.rx ~seq32
+           with
+          | Some rate ->
+              List.iter
+                (fun hook -> hook key rate record.Sink.rx)
+                t.estimate_hooks;
+              check_congestion t ~port:out_port
+          | None -> ())
+      | _ -> ());
+      if t.taps <> [] then begin
+        let sample =
+          {
+            rx = record.Sink.rx;
+            arrival = record.Sink.arrival;
+            packet;
+            key;
+            payload;
+            seq32;
+            in_port;
+            out_port;
+          }
+        in
+        List.iter (fun tap -> tap sample) t.taps
+      end
+
+let attach t =
+  match t.sink with
+  | Some _ -> invalid_arg "Collector.attach: already attached"
+  | None ->
+      let sink =
+        Sink.create t.engine ~ring_capacity:t.config.ring_capacity
+          ~poll_interval:t.config.poll_interval
+          ~consumer:(fun record -> process t record)
+          ()
+      in
+      t.sink <- Some sink;
+      Fabric.attach_sink
+        (Routing.fabric t.routing)
+        ~switch:t.switch
+        ~deliver:(Sink.ingress sink)
+
+(* ---- Queries & subscriptions ---- *)
+
+let flow_rate t key =
+  match Flow_table.find t.flows key with
+  | None -> None
+  | Some entry -> Rate_estimator.current entry.Flow_table.estimator
+
+let samples_seen t = t.samples_seen
+let data_samples t = t.data_samples
+let flows_tracked t = Flow_table.size t.flows
+let parse_errors t = t.parse_errors
+
+let subscribe_congestion t ~threshold callback =
+  t.subscriptions <- { threshold; callback } :: t.subscriptions
+
+let subscribe_flow_events t callback =
+  t.flow_event_subs <- callback :: t.flow_event_subs
+
+let flow_sampling_fraction t key =
+  match Flow_table.find t.flows key with
+  | None -> None
+  | Some entry -> Flow_table.sampling_fraction entry
+
+let flow_retransmission_fraction t key =
+  match Flow_table.find t.flows key with
+  | None -> None
+  | Some entry ->
+      let data = Rate_estimator.samples entry.Flow_table.estimator in
+      if data = 0 then None
+      else
+        Some
+          (float_of_int (Rate_estimator.out_of_order entry.Flow_table.estimator)
+          /. float_of_int data)
+
+let set_tap t tap = t.taps <- tap :: t.taps
+let on_estimate t hook = t.estimate_hooks <- hook :: t.estimate_hooks
+
+let vantage_pcap t =
+  let pcap = Pcap.create () in
+  List.iter
+    (fun (time, packet) -> Pcap.add pcap ~time packet)
+    (Ring.to_list t.vantage);
+  Pcap.contents pcap
+
+let vantage_count t = Ring.length t.vantage

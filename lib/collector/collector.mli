@@ -1,0 +1,143 @@
+(** The Planck collector (paper §3.2, §4.2).
+
+    One collector per monitored switch. It consumes the mirrored frame
+    stream from the switch's monitor port through a netmap-style
+    {!Planck_netsim.Sink}, parses the raw bytes, and maintains:
+
+    - a flow table with per-flow throughput estimates
+      ({!Rate_estimator});
+    - input/output-port inference from the routing state the controller
+      shares (routes are keyed by destination MAC, so the output port
+      follows from the destination MAC alone and the input port from the
+      source–destination pair — §4.2);
+    - per-link utilization (the sum of the rates of flows crossing the
+      link);
+    - threshold-crossing congestion events annotated with the flows on
+      the congested link (§3.3);
+    - a vantage-point ring of recent samples, dumpable as pcap (§6.1).
+
+    Queries ([link_utilization], [flows_on_port], [flow_rate]) answer
+    from current state in microseconds of simulated time — this is the
+    statistics fast path that replaces OpenFlow counter polling. *)
+
+type sample = {
+  rx : Planck_util.Time.t;  (** when the collector processed the frame *)
+  arrival : Planck_util.Time.t;  (** when it arrived at the NIC *)
+  packet : Planck_packet.Packet.t;
+  key : Planck_packet.Flow_key.t option;
+  payload : int;
+  seq32 : int option;
+  in_port : int;
+  out_port : int;
+}
+
+type flow_event_kind = Flow_started | Flow_ended
+
+type flow_event = {
+  time : Planck_util.Time.t;
+  flow : Planck_packet.Flow_key.t;
+  kind : flow_event_kind;
+}
+
+type congestion = {
+  time : Planck_util.Time.t;
+  switch : int;
+  port : int;
+  utilization : Planck_util.Rate.t;
+  capacity : Planck_util.Rate.t;
+  flows :
+    (Planck_packet.Flow_key.t * Planck_util.Rate.t * Planck_packet.Mac.t) list;
+      (** annotation: flows on the link with their estimated rates and
+          routing MACs *)
+}
+
+type config = {
+  min_gap : Planck_util.Time.t;  (** burst separator, 200 µs *)
+  max_burst : Planck_util.Time.t;  (** forced estimate period, 700 µs *)
+  flow_timeout : Planck_util.Time.t;
+  event_cooldown : Planck_util.Time.t;
+      (** minimum spacing of events per link *)
+  vantage_capacity : int;  (** samples retained for pcap dumps *)
+  ring_capacity : int;
+  poll_interval : Planck_util.Time.t;  (** netmap batch timer *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Planck_netsim.Engine.t ->
+  switch:int ->
+  routing:Planck_topology.Routing.t ->
+  link_rate:Planck_util.Rate.t ->
+  ?config:config ->
+  unit ->
+  t
+
+val attach : t -> unit
+(** Cable this collector to its switch's reserved monitor port and turn
+    on mirroring of all data ports (via {!Planck_topology.Fabric}). *)
+
+val switch_id : t -> int
+
+(** {2 Queries} *)
+
+val flow_rate :
+  t -> Planck_packet.Flow_key.t -> Planck_util.Rate.t option
+
+val link_utilization : t -> port:int -> Planck_util.Rate.t
+(** Sum of current rate estimates of live flows leaving [port]. *)
+
+val flows_on_port :
+  t ->
+  port:int ->
+  (Planck_packet.Flow_key.t * Planck_util.Rate.t * Planck_packet.Mac.t) list
+
+val samples_seen : t -> int
+val data_samples : t -> int
+val flows_tracked : t -> int
+val parse_errors : t -> int
+
+(** {2 Subscriptions} *)
+
+val subscribe_congestion :
+  t -> threshold:float -> (congestion -> unit) -> unit
+(** [threshold] is a fraction of link capacity; the callback fires when
+    a link's utilization estimate crosses it, rate-limited by
+    [event_cooldown] per link. *)
+
+val subscribe_flow_events : t -> (flow_event -> unit) -> unit
+(** Flow lifecycle events: a sampled SYN raises [Flow_started], a FIN
+    or RST raises [Flow_ended]. With the switch's preferential
+    sampling enabled (§9.2) these bypass the sample backlog. *)
+
+val flow_sampling_fraction :
+  t -> Planck_packet.Flow_key.t -> float option
+(** Effective sampling rate of a flow's vantage trace: sampled payload
+    bytes over the sequence span covered. 1.0 means a complete capture
+    (undersubscribed monitor port); under oversubscription it reports
+    how much of the flow the trace holds — the completeness signal the
+    paper's §6.1 asks for. *)
+
+val flow_retransmission_fraction :
+  t -> Planck_packet.Flow_key.t -> float option
+(** Fraction of this flow's data samples whose sequence number went
+    backwards — duplicate sequence numbers indicate retransmissions
+    (the inference the paper sketches in §3.2.2). *)
+
+val set_tap : t -> (sample -> unit) -> unit
+(** Raw sample stream (for experiments and extensions). *)
+
+val on_estimate :
+  t ->
+  (Planck_packet.Flow_key.t -> Planck_util.Rate.t -> Planck_util.Time.t -> unit) ->
+  unit
+(** Called on every new per-flow rate estimate. *)
+
+(** {2 Vantage point (§6.1)} *)
+
+val vantage_pcap : t -> string
+(** The retained sample ring as a pcap file image. *)
+
+val vantage_count : t -> int

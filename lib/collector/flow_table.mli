@@ -1,0 +1,58 @@
+(** The collector's NetFlow-like flow table (paper §3.2.2).
+
+    One entry per sampled 5-tuple, holding the burst-clustered rate
+    estimator, the routing (possibly shadow) MAC last seen, the inferred
+    ports at the monitored switch, and sample counters. Entries idle
+    longer than the timeout are expired lazily. *)
+
+type entry = {
+  key : Planck_packet.Flow_key.t;
+  estimator : Rate_estimator.t;
+  mutable dst_mac : Planck_packet.Mac.t;
+      (** destination MAC of the latest sample — identifies the route
+          in use, and changes when the flow is rerouted *)
+  mutable in_port : int;  (** inferred ingress port; -1 unknown *)
+  mutable out_port : int;  (** inferred egress port; -1 unknown *)
+  mutable first_seen : Planck_util.Time.t;
+  mutable last_seen : Planck_util.Time.t;
+  mutable sampled_packets : int;
+  mutable sampled_bytes : int;
+  mutable seq_lo : int;  (** lowest unwrapped data seq sampled; -1 = none *)
+  mutable seq_hi : int;  (** highest unwrapped data seq sampled *)
+}
+
+type t
+
+val create : ?timeout:Planck_util.Time.t -> unit -> t
+(** [timeout] defaults to 10 ms of idleness. *)
+
+val touch :
+  t ->
+  key:Planck_packet.Flow_key.t ->
+  time:Planck_util.Time.t ->
+  ?max_rate:Planck_util.Rate.t ->
+  dst_mac:Planck_packet.Mac.t ->
+  unit ->
+  entry
+(** Find or create the entry and refresh its liveness/MAC. [max_rate]
+    (used at creation) clamps the new entry's estimator. *)
+
+val find : t -> Planck_packet.Flow_key.t -> entry option
+
+val active : t -> now:Planck_util.Time.t -> entry list
+(** Entries seen within the timeout, expiring the rest. *)
+
+val active_on_port : t -> now:Planck_util.Time.t -> out_port:int -> entry list
+
+val rate : entry -> Planck_util.Rate.t
+(** Current estimate, 0 if none yet. *)
+
+val note_seq : entry -> seq32:int -> payload:int -> unit
+(** Record a data sample's sequence range (unwrapping mod 2{^32}). *)
+
+val sampling_fraction : entry -> float option
+(** [sampled bytes / sequence span covered]: the effective sampling
+    rate of this flow's vantage trace, used to judge capture
+    completeness (§6.1). [None] until two data samples exist. *)
+
+val size : t -> int

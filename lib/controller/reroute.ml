@@ -1,0 +1,26 @@
+module Flow_key = Planck_packet.Flow_key
+module Ipv4_addr = Planck_packet.Ipv4_addr
+module Routing = Planck_topology.Routing
+module Fabric = Planck_topology.Fabric
+module Actions = Planck_openflow.Actions
+
+type mechanism = Arp | Openflow
+
+let mechanism_name = function Arp -> "ARP" | Openflow -> "OpenFlow"
+
+let apply mechanism ~channel ~routing ~key ~new_mac =
+  match Ipv4_addr.host_id key.Flow_key.src_ip with
+  | None -> ()
+  | Some src ->
+      let fabric = Routing.fabric routing in
+      let edge, port = Fabric.host_attachment fabric ~host:src in
+      let edge_switch = Fabric.switch fabric edge in
+      (match mechanism with
+      | Arp ->
+          Actions.spoof_arp channel edge_switch ~port
+            ~target:(Fabric.host fabric src)
+            ~pretend_ip:key.Flow_key.dst_ip ~pretend_mac:new_mac
+      | Openflow ->
+          Actions.install_flow_rewrite channel edge_switch ~key
+            ~to_mac:new_mac
+            ~on_installed:(fun () -> ()))

@@ -1,0 +1,27 @@
+(** The two fast-reroute mechanisms of §6.2.
+
+    Both flip a flow onto a pre-installed alternate route by changing
+    the destination MAC its packets carry; both cost a single message.
+
+    - [Arp]: the controller packet-outs a {e spoofed unicast ARP
+      request} to the flow's source host, claiming the destination IP
+      is at the alternate's shadow MAC. The host updates its ARP cache
+      (Linux performs MAC learning on unicast requests) and the very
+      next segment uses the new route. No switch state at all.
+    - [Openflow]: install an ingress rewrite rule at the source's edge
+      switch. Takes effect only after the TCAM install latency, which
+      is why Figure 16 shows it 2–3x slower. *)
+
+type mechanism = Arp | Openflow
+
+val mechanism_name : mechanism -> string
+
+val apply :
+  mechanism ->
+  channel:Planck_openflow.Control_channel.t ->
+  routing:Planck_topology.Routing.t ->
+  key:Planck_packet.Flow_key.t ->
+  new_mac:Planck_packet.Mac.t ->
+  unit
+(** Reroute flow [key] onto [new_mac]'s tree. Silently does nothing if
+    the flow's source is not a testbed host. *)

@@ -1,0 +1,93 @@
+module Time = Planck_util.Time
+module Prng = Planck_util.Prng
+module Stats = Planck_util.Stats
+module Fat_tree = Planck_topology.Fat_tree
+module Generate = Planck_workloads.Generate
+module Runner = Planck_workloads.Runner
+
+type workload =
+  | Stride of int
+  | Shuffle of { concurrency : int }
+  | Random_bijection
+  | Random
+  | Staggered_prob of { p_edge : float; p_pod : float }
+
+let workload_name = function
+  | Stride k -> Printf.sprintf "stride(%d)" k
+  | Shuffle _ -> "shuffle"
+  | Random_bijection -> "random bijection"
+  | Random -> "random"
+  | Staggered_prob _ -> "staggered prob"
+
+type summary = {
+  workload : workload;
+  scheme_name : string;
+  flow_size : int;
+  avg_goodput_gbps : float;
+  flows : Runner.flow_result list;
+  host_done : Time.t option array option;
+  reroutes : int;
+  all_completed : bool;
+}
+
+let pairs_for (testbed : Testbed.t) workload prng =
+  let hosts = Testbed.host_count testbed in
+  match workload with
+  | Stride k -> Generate.stride ~hosts ~k
+  | Random_bijection -> Generate.random_bijection prng ~hosts
+  | Random -> Generate.random_uniform prng ~hosts
+  | Staggered_prob { p_edge; p_pod } -> (
+      match testbed.Testbed.spec.Testbed.topology with
+      | Testbed.Fat_tree { k } ->
+          Generate.staggered_prob prng ~shape:(Fat_tree.shape ~k) ~p_edge
+            ~p_pod
+      | Testbed.Single_switch _ | Testbed.Jellyfish _ ->
+          (* No pod structure: staggered degenerates to uniform. *)
+          Generate.random_uniform prng ~hosts)
+  | Shuffle _ -> invalid_arg "Experiment.pairs_for: shuffle is not pair-based"
+
+let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
+  let spec =
+    match seed with
+    | None -> spec
+    | Some seed -> { spec with Testbed.seed = seed }
+  in
+  let testbed = Testbed.create spec in
+  let deployed = Scheme.deploy testbed scheme in
+  let wl_prng = Prng.split testbed.Testbed.prng in
+  let flows, host_done =
+    match workload with
+    | Shuffle { concurrency } ->
+        let result =
+          Runner.run_shuffle testbed.Testbed.engine
+            ~endpoints:testbed.Testbed.endpoints
+            ~orders:
+              (Generate.shuffle_orders wl_prng
+                 ~hosts:(Testbed.host_count testbed))
+            ~concurrency ~size ?horizon ()
+        in
+        (result.Runner.flows, Some result.Runner.host_done)
+    | Stride _ | Random_bijection | Random | Staggered_prob _ ->
+        let pairs = pairs_for testbed workload wl_prng in
+        ( Runner.run_pairs testbed.Testbed.engine
+            ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?horizon (),
+          None )
+  in
+  {
+    workload;
+    scheme_name = Scheme.name scheme;
+    flow_size = size;
+    avg_goodput_gbps = Runner.average_goodput_gbps flows;
+    flows;
+    host_done;
+    reroutes = Scheme.reroutes deployed;
+    all_completed = List.for_all (fun r -> r.Runner.completed) flows;
+  }
+
+let repeat ~runs ~spec ~scheme ~workload ~size ?horizon () =
+  List.init runs (fun i ->
+      run ~spec ~scheme ~workload ~size ?horizon
+        ~seed:(spec.Testbed.seed + i) ())
+
+let mean_avg_goodput summaries =
+  Stats.mean (List.map (fun s -> s.avg_goodput_gbps) summaries)

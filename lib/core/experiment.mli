@@ -1,0 +1,49 @@
+(** End-to-end experiment execution: build a testbed, deploy a scheme,
+    run a workload, report per-flow results — the machinery behind the
+    §7 evaluation figures. *)
+
+type workload =
+  | Stride of int
+  | Shuffle of { concurrency : int }
+  | Random_bijection
+  | Random
+  | Staggered_prob of { p_edge : float; p_pod : float }
+
+val workload_name : workload -> string
+
+type summary = {
+  workload : workload;
+  scheme_name : string;
+  flow_size : int;
+  avg_goodput_gbps : float;
+  flows : Planck_workloads.Runner.flow_result list;
+  host_done : Planck_util.Time.t option array option;
+      (** shuffle only: per-host completion times *)
+  reroutes : int;
+  all_completed : bool;
+}
+
+val run :
+  spec:Testbed.spec ->
+  scheme:Scheme.t ->
+  workload:workload ->
+  size:int ->
+  ?horizon:Planck_util.Time.t ->
+  ?seed:int ->
+  unit ->
+  summary
+(** One run: a fresh testbed per call, so runs are independent.
+    [seed] overrides the spec's seed (vary it across repetitions). *)
+
+val repeat :
+  runs:int ->
+  spec:Testbed.spec ->
+  scheme:Scheme.t ->
+  workload:workload ->
+  size:int ->
+  ?horizon:Planck_util.Time.t ->
+  unit ->
+  summary list
+(** [runs] independent repetitions with seeds [spec.seed + i]. *)
+
+val mean_avg_goodput : summary list -> float

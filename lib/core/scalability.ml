@@ -1,0 +1,43 @@
+type plan = {
+  hosts : int;
+  switches : int;
+  collector_servers : int;
+  additional_machines_pct : float;
+}
+
+let collectors_per_server = 14
+
+let ceil_div a b = (a + b - 1) / b
+
+let plan ~hosts ~switches =
+  let collector_servers = ceil_div switches collectors_per_server in
+  {
+    hosts;
+    switches;
+    collector_servers;
+    additional_machines_pct =
+      100.0 *. float_of_int collector_servers /. float_of_int hosts;
+  }
+
+let fat_tree_plan ~k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Scalability.fat_tree_plan: k must be even";
+  (* k pods x (k/2 edge + k/2 agg) + (k/2)^2 cores. *)
+  let switches = (k * k) + (k / 2 * (k / 2)) in
+  let hosts = k * k * k / 4 in
+  plan ~hosts ~switches
+
+let jellyfish_plan ~ports ~hosts_per_switch ~hosts =
+  if hosts_per_switch <= 0 || hosts_per_switch >= ports then
+    invalid_arg "Scalability.jellyfish_plan: bad hosts_per_switch";
+  plan ~hosts ~switches:(ceil_div hosts hosts_per_switch)
+
+let monitor_port_host_cost ~fat_tree_k =
+  (* Freeing the monitor port adds one usable port per switch. On a
+     fat-tree, keeping the up:down ratio means half of the freed edge
+     ports become host ports: one extra host per two edge switches,
+     i.e. a fraction 1/(k+2) of hosts. On a Jellyfish with the paper's
+     17 hosts per switch, the freed port is simply an 18th host. *)
+  let ft = 100.0 /. float_of_int (fat_tree_k + 2) in
+  let jf = 100.0 /. 18.0 in
+  (ft, jf)

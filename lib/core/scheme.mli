@@ -1,0 +1,38 @@
+(** The routing schemes compared in the paper's §7:
+
+    - [Static]: PAST base routes only (the ECMP-class baseline);
+    - [Planck_te]: Planck collectors on every switch driving the
+      greedy TE application;
+    - [Poll]: Hedera-style global first fit on polled OpenFlow
+      counters (1 s and 100 ms variants);
+    - [Sflow_te]: OpenSample-style global first fit on control-plane
+      sFlow samples (capped at ~300 samples/s);
+    - "Optimal" is not a scheme but a topology — run [Static] on
+      {!Testbed.optimal}. *)
+
+type t =
+  | Static
+  | Planck_te of Planck_controller.Te.config
+  | Poll of Planck_baselines.Poller.config
+  | Sflow_te of Planck_baselines.Sflow_te.config
+
+val planck_te_default : t
+val poll_1s : t
+val poll_100ms : t
+val sflow_te_default : t
+
+val name : t -> string
+
+type deployed = {
+  scheme : t;
+  controller : Planck_controller.Controller.t option;
+  te : Planck_controller.Te.t option;
+  poller : Planck_baselines.Poller.t option;
+  sflow_te : Planck_baselines.Sflow_te.t option;
+}
+
+val deploy : Testbed.t -> t -> deployed
+(** Set the scheme up on a built testbed (creates collectors, enables
+    mirroring, starts pollers — whatever the scheme needs). *)
+
+val reroutes : deployed -> int

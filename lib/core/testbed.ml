@@ -1,0 +1,115 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+module Host = Planck_netsim.Host
+module Fabric = Planck_topology.Fabric
+module Routing = Planck_topology.Routing
+module Fat_tree = Planck_topology.Fat_tree
+module Single_switch = Planck_topology.Single_switch
+module Jellyfish = Planck_topology.Jellyfish
+module Endpoint = Planck_tcp.Endpoint
+
+type topology =
+  | Fat_tree of { k : int }
+  | Single_switch of { hosts : int }
+  | Jellyfish of Jellyfish.spec
+
+type spec = {
+  topology : topology;
+  link_rate : Rate.t;
+  seed : int;
+  switch_config : Switch.config;
+  host_stack : Host.stack;
+  alts : int option;
+}
+
+let default_spec =
+  {
+    topology = Fat_tree { k = 4 };
+    link_rate = Rate.gbps 10.0;
+    seed = 1;
+    switch_config = Switch.default_config;
+    host_stack = Host.default_stack;
+    alts = None;
+  }
+
+let paper_fat_tree ?(seed = 1) () = { default_spec with seed }
+
+let optimal ?(seed = 1) ?(hosts = 16) () =
+  { default_spec with topology = Single_switch { hosts }; seed }
+
+let microbench ?(seed = 1) ?(hosts = 16) ?(rate = Rate.gbps 10.0)
+    ?(switch_config = Switch.default_config) () =
+  {
+    default_spec with
+    topology = Single_switch { hosts };
+    link_rate = rate;
+    switch_config;
+    seed;
+  }
+
+type t = {
+  spec : spec;
+  engine : Engine.t;
+  fabric : Fabric.t;
+  routing : Routing.t;
+  endpoints : Endpoint.t array;
+  prng : Prng.t;
+}
+
+let create spec =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed:spec.seed in
+  let fabric, routing =
+    match spec.topology with
+    | Fat_tree { k } ->
+        let fabric, shape =
+          Fat_tree.build engine ~k ~switch_config:spec.switch_config
+            ~link_rate:spec.link_rate ~host_stack:spec.host_stack
+            ~prng:(Prng.split prng) ()
+        in
+        let alts =
+          match spec.alts with
+          | Some alts -> min alts (Fat_tree.max_alts shape)
+          | None -> Fat_tree.max_alts shape
+        in
+        ( fabric,
+          Routing.create fabric ~alts ~tree_fn:(fun ~dst ~alt ->
+              Fat_tree.tree_out_ports shape ~dst
+                ~core:(Fat_tree.core_for shape ~dst ~alt)) )
+    | Single_switch { hosts } ->
+        let fabric =
+          Single_switch.build engine ~hosts ~switch_config:spec.switch_config
+            ~link_rate:spec.link_rate ~host_stack:spec.host_stack
+            ~prng:(Prng.split prng) ()
+        in
+        ( fabric,
+          Routing.create fabric
+            ~alts:(Option.value ~default:1 spec.alts)
+            ~tree_fn:(fun ~dst ~alt:_ ->
+              Single_switch.tree_out_ports ~hosts ~dst) )
+    | Jellyfish jf_spec ->
+        let fabric =
+          Jellyfish.build engine ~spec:jf_spec
+            ~switch_config:spec.switch_config ~link_rate:spec.link_rate
+            ~host_stack:spec.host_stack ~prng:(Prng.split prng) ()
+        in
+        ( fabric,
+          Routing.create fabric
+            ~alts:(Option.value ~default:4 spec.alts)
+            ~tree_fn:(fun ~dst ~alt ->
+              Jellyfish.tree_out_ports fabric ~dst ~alt) )
+  in
+  Routing.install routing;
+  Fabric.populate_arp fabric;
+  let endpoints =
+    Array.init (Fabric.host_count fabric) (fun i ->
+        Endpoint.create (Fabric.host fabric i))
+  in
+  { spec; engine; fabric; routing; endpoints; prng }
+
+let host_count t = Fabric.host_count t.fabric
+let link_rate t = t.spec.link_rate
+let run_until t time = Engine.run ~until:time t.engine

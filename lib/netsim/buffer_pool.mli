@@ -1,0 +1,38 @@
+(** Shared packet-buffer accounting for a switch ASIC.
+
+    Models the Broadcom-Trident-style memory management the paper
+    describes (§5.1): a small static reservation per output port plus a
+    large shared region governed by dynamic-threshold (DT) admission — a
+    queue may grow while its shared usage stays below
+    [alpha * (shared remaining)]. This reproduces two behaviours the
+    paper leans on: a single congested port consumes up to
+    [alpha/(1+alpha)] of the pool (~4 MB of 9 MB), and per-port share
+    shrinks as more ports congest.
+
+    A per-port hard cap supports the "minbuffer" configuration (§9.2):
+    capping the monitor port's buffer to nearly nothing. *)
+
+type t
+
+val create :
+  total:int -> reservation:int -> alpha:float -> ports:int -> t
+(** [create ~total ~reservation ~alpha ~ports]: [total] bytes overall,
+    [reservation] bytes guaranteed per port (static region), DT
+    parameter [alpha]. Raises [Invalid_argument] if the static region
+    exceeds [total] or [alpha <= 0]. *)
+
+val set_port_cap : t -> port:int -> int option -> unit
+(** Hard upper bound on one port's total occupancy (minbuffer mode). *)
+
+val try_alloc : t -> port:int -> bytes_:int -> bool
+(** Admit [bytes_] to [port]'s queue if the reservation, the DT
+    threshold and any cap allow; updates accounting on success. *)
+
+val release : t -> port:int -> bytes_:int -> unit
+(** Return [bytes_] from [port]'s queue to the pool. Raises
+    [Invalid_argument] if releasing more than the port holds. *)
+
+val port_used : t -> port:int -> int
+val shared_used : t -> int
+val total_used : t -> int
+val capacity : t -> int

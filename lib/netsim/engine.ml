@@ -1,0 +1,54 @@
+module Time = Planck_util.Time
+module Heap = Planck_util.Heap
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : Time.t;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0; processed = 0 }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.add t.queue ~key:time f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.add t.queue ~key:(t.clock + delay) f
+
+let every t ~period ?until f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let rec tick () =
+    f ();
+    match until with
+    | Some horizon when t.clock + period > horizon -> ()
+    | Some _ | None -> schedule t ~delay:period tick
+  in
+  schedule t ~delay:period tick
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Heap.min_key t.queue with
+        | Some time when time <= horizon -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- horizon;
+            continue := false
+      done
+
+let events_processed t = t.processed
+let pending t = Heap.length t.queue

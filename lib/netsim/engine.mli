@@ -1,0 +1,37 @@
+(** The discrete-event simulation engine.
+
+    A single-threaded event loop over a min-heap of (time, thunk) pairs.
+    Events at equal times fire in scheduling order, so the simulation is
+    fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Planck_util.Time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Planck_util.Time.t -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay]. Raises
+    [Invalid_argument] on negative delay. *)
+
+val schedule_at : t -> time:Planck_util.Time.t -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute time [time], which must
+    not be in the past. *)
+
+val every :
+  t -> period:Planck_util.Time.t -> ?until:Planck_util.Time.t ->
+  (unit -> unit) -> unit
+(** [every t ~period f] runs [f] now + period, then every [period]
+    until the optional horizon (inclusive). *)
+
+val run : ?until:Planck_util.Time.t -> t -> unit
+(** Process events in time order. With [until], stops once the next
+    event would be strictly later than [until] (and advances the clock
+    to [until]); otherwise runs until the queue drains. *)
+
+val step : t -> bool
+(** Process exactly one event; [false] if the queue was empty. *)
+
+val events_processed : t -> int
+val pending : t -> int

@@ -1,0 +1,190 @@
+module Time = Planck_util.Time
+module Prng = Planck_util.Prng
+module Packet = Planck_packet.Packet
+module Headers = Planck_packet.Headers
+module Flow_key = Planck_packet.Flow_key
+module Mac = Planck_packet.Mac
+module Ipv4_addr = Planck_packet.Ipv4_addr
+
+type stack = {
+  send_delay_min : Time.t;
+  send_delay_max : Time.t;
+  recv_delay_min : Time.t;
+  recv_delay_max : Time.t;
+  arp_locktime : Time.t;
+}
+
+let default_stack =
+  {
+    send_delay_min = Time.us 50;
+    send_delay_max = Time.us 90;
+    recv_delay_min = Time.us 35;
+    recv_delay_max = Time.us 55;
+    arp_locktime = Time.zero;
+  }
+
+type arp_entry = { mutable entry_mac : Mac.t; mutable updated_at : Time.t }
+
+type t = {
+  engine : Engine.t;
+  host_id : int;
+  mac : Mac.t;
+  ip : Ipv4_addr.t;
+  stack : stack;
+  prng : Prng.t;
+  arp_cache : (Ipv4_addr.t, arp_entry) Hashtbl.t;
+  mutable nic : Txport.t option;
+  mutable receive : Packet.t -> unit;
+  mutable send_traces : (Time.t -> Packet.t -> unit) list;
+  mutable recv_traces : (Time.t -> Packet.t -> unit) list;
+  mutable filtered : int;
+  (* The kernel stack is FIFO in each direction: later frames can never
+     overtake earlier ones even though per-frame delays are random. *)
+  mutable last_send_ready : Time.t;
+  mutable last_recv_ready : Time.t;
+}
+
+let create engine ~id ?(stack = default_stack) ~prng () =
+  {
+    engine;
+    host_id = id;
+    mac = Mac.host id;
+    ip = Ipv4_addr.host id;
+    stack;
+    prng;
+    arp_cache = Hashtbl.create 16;
+    nic = None;
+    receive = (fun _ -> ());
+    send_traces = [];
+    recv_traces = [];
+    filtered = 0;
+    last_send_ready = 0;
+    last_recv_ready = 0;
+  }
+
+let id t = t.host_id
+let name t = Printf.sprintf "h%d" t.host_id
+let mac t = t.mac
+let ip t = t.ip
+let engine t = t.engine
+
+(* The NIC is multi-queue with per-flow fair scheduling (mq + TSQ-era
+   Linux): bulk data of one flow cannot head-of-line-block the ACKs of
+   another. *)
+let nic_classes = 8
+
+let connect t ~rate ~prop_delay ~deliver =
+  match t.nic with
+  | Some _ -> invalid_arg "Host.connect: already connected"
+  | None ->
+      t.nic <-
+        Some
+          (Txport.create t.engine ~rate ~prop_delay ~classes:nic_classes
+             ~deliver
+             ~on_depart:(fun _ -> ())
+             ())
+
+let uniform_delay t lo hi =
+  if hi <= lo then lo else lo + Prng.int t.prng (hi - lo + 1)
+
+let send t packet =
+  let now = Engine.now t.engine in
+  List.iter (fun trace -> trace now packet) t.send_traces;
+  let delay = uniform_delay t t.stack.send_delay_min t.stack.send_delay_max in
+  let ready = max (now + delay) (t.last_send_ready + 1) in
+  t.last_send_ready <- ready;
+  let cls =
+    match Flow_key.of_packet packet with
+    | None -> 0
+    | Some key -> Flow_key.hash key mod nic_classes
+  in
+  Engine.schedule t.engine ~delay:(ready - now) (fun () ->
+      match t.nic with
+      | None -> ()
+      | Some nic -> Txport.enqueue nic ~cls packet)
+
+let set_receive t f = t.receive <- f
+let add_send_trace t f = t.send_traces <- t.send_traces @ [ f ]
+let add_recv_trace t f = t.recv_traces <- t.recv_traces @ [ f ]
+
+let arp_lookup t ip =
+  match Hashtbl.find_opt t.arp_cache ip with
+  | None -> None
+  | Some entry -> Some entry.entry_mac
+
+let arp_set t ip mac =
+  match Hashtbl.find_opt t.arp_cache ip with
+  | Some entry ->
+      entry.entry_mac <- mac;
+      entry.updated_at <- Engine.now t.engine
+  | None ->
+      Hashtbl.replace t.arp_cache ip
+        { entry_mac = mac; updated_at = Engine.now t.engine }
+
+(* Linux-like cache update on traffic: respect the locktime — an entry
+   changed less than [arp_locktime] ago refuses further updates. *)
+let arp_learn t ip mac =
+  match Hashtbl.find_opt t.arp_cache ip with
+  | Some entry ->
+      let now = Engine.now t.engine in
+      if Mac.equal entry.entry_mac mac then entry.updated_at <- now
+      else if now - entry.updated_at >= t.stack.arp_locktime then begin
+        entry.entry_mac <- mac;
+        entry.updated_at <- now
+      end
+  | None ->
+      Hashtbl.replace t.arp_cache ip
+        { entry_mac = mac; updated_at = Engine.now t.engine }
+
+let send_arp_reply t ~to_mac ~to_ip =
+  let reply =
+    Packet.arp ~src_mac:t.mac ~dst_mac:to_mac
+      {
+        Headers.Arp.op = Headers.Arp.Reply;
+        sender_mac = t.mac;
+        sender_ip = t.ip;
+        target_mac = to_mac;
+        target_ip = to_ip;
+      }
+  in
+  send t reply
+
+let arp_input t (a : Headers.Arp.t) =
+  match a.op with
+  | Headers.Arp.Request ->
+      (* MAC learning happens for requests that reach us (including the
+         controller's unicast spoofed requests); we answer requests for
+         our own address. *)
+      if Ipv4_addr.equal a.target_ip t.ip then begin
+        arp_learn t a.sender_ip a.sender_mac;
+        send_arp_reply t ~to_mac:a.sender_mac ~to_ip:a.sender_ip
+      end
+  | Headers.Arp.Reply ->
+      (* Unsolicited replies are ignored (Linux default); the hosts in
+         this testbed never issue requests themselves, so every reply is
+         unsolicited. *)
+      ()
+
+let accepts t packet =
+  let dst = Packet.dst_mac packet in
+  Mac.equal dst t.mac || Mac.equal dst Mac.broadcast
+
+let ingress t packet =
+  if not (accepts t packet) then t.filtered <- t.filtered + 1
+  else begin
+    let now = Engine.now t.engine in
+    let delay =
+      uniform_delay t t.stack.recv_delay_min t.stack.recv_delay_max
+    in
+    let ready = max (now + delay) (t.last_recv_ready + 1) in
+    t.last_recv_ready <- ready;
+    Engine.schedule t.engine ~delay:(ready - now) (fun () ->
+        match packet.Packet.body with
+        | Packet.Arp a -> arp_input t a
+        | Packet.Ipv4 _ ->
+            let now = Engine.now t.engine in
+            List.iter (fun trace -> trace now packet) t.recv_traces;
+            t.receive packet)
+  end
+
+let filtered_frames t = t.filtered

@@ -1,0 +1,58 @@
+module Time = Planck_util.Time
+module Ring = Planck_util.Ring
+module Packet = Planck_packet.Packet
+
+type record = { arrival : Time.t; rx : Time.t; wire : bytes; wire_size : int }
+
+type pending = { arrived : Time.t; packet : Packet.t }
+
+type t = {
+  engine : Engine.t;
+  ring : pending Ring.t;
+  poll_interval : Time.t;
+  consumer : record -> unit;
+  mutable poll_scheduled : bool;
+  mutable seen : int;
+}
+
+let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
+    ~consumer () =
+  {
+    engine;
+    ring = Ring.create ~capacity:ring_capacity;
+    poll_interval;
+    consumer;
+    poll_scheduled = false;
+    seen = 0;
+  }
+
+let drain t =
+  t.poll_scheduled <- false;
+  let now = Engine.now t.engine in
+  let rec loop () =
+    match Ring.pop t.ring with
+    | None -> ()
+    | Some { arrived; packet } ->
+        t.consumer
+          {
+            arrival = arrived;
+            rx = now;
+            wire = Packet.to_wire packet;
+            wire_size = packet.Packet.wire_size;
+          };
+        loop ()
+  in
+  loop ()
+
+let ingress t packet =
+  let now = Engine.now t.engine in
+  if Ring.push t.ring { arrived = now; packet } then begin
+    t.seen <- t.seen + 1;
+    if not t.poll_scheduled then begin
+      t.poll_scheduled <- true;
+      Engine.schedule t.engine ~delay:t.poll_interval (fun () -> drain t)
+    end
+  end
+
+let frames_seen t = t.seen
+let ring_drops t = Ring.drops t.ring

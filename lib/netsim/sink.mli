@@ -1,0 +1,38 @@
+(** A netmap-style capture endpoint.
+
+    Models the collector server's NIC + netmap ring: frames arriving on
+    the wire are stamped and placed in a bounded ring; a poll loop wakes
+    at most once per [poll_interval] and drains the whole ring in a
+    batch, handing each frame to the consumer as {e wire bytes} (the
+    collector parses them, like the real collector parses netmap
+    slots).
+
+    The consumer's receive timestamp is the drain time, so it includes
+    the 0–[poll_interval] batching delay that a real poll-mode capture
+    adds. A full ring drops frames, like a real NIC ring. *)
+
+type record = {
+  arrival : Planck_util.Time.t;  (** last bit on the wire *)
+  rx : Planck_util.Time.t;  (** when the poll loop saw it *)
+  wire : bytes;  (** serialized headers, see {!Planck_packet.Packet.to_wire} *)
+  wire_size : int;  (** original frame length *)
+}
+
+type t
+
+val create :
+  Engine.t ->
+  ?ring_capacity:int ->
+  ?poll_interval:Planck_util.Time.t ->
+  consumer:(record -> unit) ->
+  unit ->
+  t
+(** Defaults: 2048-slot ring, 25 µs poll interval. *)
+
+val ingress : t -> Planck_packet.Packet.t -> unit
+(** Frame fully arrived; hand this to the peer's transmit side. *)
+
+val frames_seen : t -> int
+(** Frames accepted into the ring since creation. *)
+
+val ring_drops : t -> int

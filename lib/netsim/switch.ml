@@ -1,0 +1,307 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Packet = Planck_packet.Packet
+module Mac = Planck_packet.Mac
+
+type arbitration = Round_robin | Fifo
+
+type config = {
+  buffer_total : int;
+  buffer_reservation : int;
+  dt_alpha : float;
+  pipeline_latency : Time.t;
+  pipeline_jitter : Time.t;
+  mirror_buffer_cap : int option;
+  mirror_arbitration : arbitration;
+  mirror_priority_special : bool;
+  mirror_priority_max_fraction : float;
+}
+
+let default_config =
+  {
+    buffer_total = 9 * 1024 * 1024;
+    buffer_reservation = 12 * 1024;
+    dt_alpha = 0.8;
+    pipeline_latency = Time.ns 700;
+    pipeline_jitter = Time.ns 800;
+    mirror_buffer_cap = None;
+    mirror_arbitration = Fifo;
+    mirror_priority_special = false;
+    mirror_priority_max_fraction = 0.1;
+  }
+
+type counters = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable data_drops : int;
+  mutable mirror_drops : int;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  nports : int;
+  config : config;
+  buffer : Buffer_pool.t;
+  tx : Txport.t option array;
+  counters : counters array;
+  fdb : (Mac.t, int) Hashtbl.t;
+  rewrites : (Mac.t, Mac.t) Hashtbl.t;
+  flow_rewrites : Mac.t Planck_packet.Flow_key.Table.t;
+  mutable forward_taps :
+    (in_port:int -> out_port:int -> Packet.t -> unit) list;
+  mutable monitor : int option;
+  mirrored : bool array;
+  mutable unroutable : int;
+  mutable mirror_total : int;
+  mutable mirror_special : int;
+  prng : Prng.t;
+}
+
+let create engine ~name ~ports ~config ?prng () =
+  if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
+  let prng =
+    match prng with
+    | Some prng -> prng
+    | None -> Prng.create ~seed:(Hashtbl.hash name)
+  in
+  {
+    engine;
+    name;
+    nports = ports;
+    config;
+    buffer =
+      Buffer_pool.create ~total:config.buffer_total
+        ~reservation:config.buffer_reservation ~alpha:config.dt_alpha ~ports;
+    tx = Array.make ports None;
+    counters =
+      Array.init ports (fun _ ->
+          { rx_packets = 0; rx_bytes = 0; data_drops = 0; mirror_drops = 0 });
+    fdb = Hashtbl.create 64;
+    rewrites = Hashtbl.create 16;
+    flow_rewrites = Planck_packet.Flow_key.Table.create 16;
+    forward_taps = [];
+    monitor = None;
+    mirrored = Array.make ports false;
+    unroutable = 0;
+    mirror_total = 0;
+    mirror_special = 0;
+    prng;
+  }
+
+let name t = t.name
+let ports t = t.nports
+let engine t = t.engine
+
+let check_port t port label =
+  if port < 0 || port >= t.nports then
+    invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" label port)
+
+let connect t ~port ~rate ~prop_delay ~deliver =
+  check_port t port "connect";
+  (match t.tx.(port) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Switch.connect: port %d already connected" port)
+  | None -> ());
+  (* One round-robin class per potential mirror source; data traffic
+     always uses class 0, so non-monitor ports behave as plain FIFO.
+     An extra strict-priority class carries SYN/FIN/RST mirror copies
+     when preferential sampling is on. *)
+  let normal_classes =
+    match t.config.mirror_arbitration with
+    | Round_robin -> t.nports
+    | Fifo -> 1
+  in
+  let classes, priority_class =
+    if t.config.mirror_priority_special then
+      (normal_classes + 1, Some normal_classes)
+    else (normal_classes, None)
+  in
+  let on_depart packet =
+    Buffer_pool.release t.buffer ~port ~bytes_:packet.Packet.wire_size
+  in
+  t.tx.(port) <-
+    Some
+      (Txport.create t.engine ~rate ~prop_delay ~classes ?priority_class
+         ~deliver ~on_depart ())
+
+let add_route t mac port =
+  check_port t port "add_route";
+  Hashtbl.replace t.fdb mac port
+
+let remove_route t mac = Hashtbl.remove t.fdb mac
+let route t mac = Hashtbl.find_opt t.fdb mac
+let route_count t = Hashtbl.length t.fdb
+let add_rewrite t ~from_mac ~to_mac = Hashtbl.replace t.rewrites from_mac to_mac
+
+let add_flow_rewrite t ~key ~to_mac =
+  Planck_packet.Flow_key.Table.replace t.flow_rewrites key to_mac
+
+let remove_flow_rewrite t ~key =
+  Planck_packet.Flow_key.Table.remove t.flow_rewrites key
+
+let flow_rewrite_count t = Planck_packet.Flow_key.Table.length t.flow_rewrites
+
+let add_forward_tap t tap = t.forward_taps <- t.forward_taps @ [ tap ]
+
+let set_mirror t ~monitor ~mirrored =
+  check_port t monitor "set_mirror";
+  List.iter (fun p -> check_port t p "set_mirror") mirrored;
+  if List.mem monitor mirrored then
+    invalid_arg "Switch.set_mirror: monitor port cannot mirror itself";
+  Array.fill t.mirrored 0 t.nports false;
+  List.iter (fun p -> t.mirrored.(p) <- true) mirrored;
+  t.monitor <- Some monitor;
+  Buffer_pool.set_port_cap t.buffer ~port:monitor t.config.mirror_buffer_cap
+
+let clear_mirror t =
+  Array.fill t.mirrored 0 t.nports false;
+  (match t.monitor with
+  | Some p -> Buffer_pool.set_port_cap t.buffer ~port:p None
+  | None -> ());
+  t.monitor <- None
+
+let monitor_port t = t.monitor
+
+(* Admission + enqueue on one egress port. [mirror] selects which drop
+   counter an admission failure charges. *)
+let enqueue t ~port ~cls ~mirror packet =
+  match t.tx.(port) with
+  | None ->
+      (* Egress not wired up: treat as drop. *)
+      if mirror then
+        t.counters.(port).mirror_drops <- t.counters.(port).mirror_drops + 1
+      else t.counters.(port).data_drops <- t.counters.(port).data_drops + 1
+  | Some txport ->
+      if
+        Buffer_pool.try_alloc t.buffer ~port ~bytes_:packet.Packet.wire_size
+      then Txport.enqueue txport ~cls packet
+      else if mirror then
+        t.counters.(port).mirror_drops <- t.counters.(port).mirror_drops + 1
+      else t.counters.(port).data_drops <- t.counters.(port).data_drops + 1
+
+let forward t ~in_port packet =
+  (* Ingress match-action: per-flow destination rewrite (OpenFlow
+     rerouting) happens before the forwarding lookup. The key is only
+     materialized when rules exist — this is the per-packet hot path. *)
+  let packet =
+    if Planck_packet.Flow_key.Table.length t.flow_rewrites = 0 then packet
+    else
+      match Planck_packet.Flow_key.of_packet packet with
+      | None -> packet
+      | Some key -> (
+          match Planck_packet.Flow_key.Table.find_opt t.flow_rewrites key with
+          | None -> packet
+          | Some to_mac -> Packet.with_dst_mac packet to_mac)
+  in
+  match Hashtbl.find_opt t.fdb (Packet.dst_mac packet) with
+  | None -> t.unroutable <- t.unroutable + 1
+  | Some out_port ->
+      let outgoing =
+        match Hashtbl.find_opt t.rewrites (Packet.dst_mac packet) with
+        | None -> packet
+        | Some to_mac -> Packet.with_dst_mac packet to_mac
+      in
+      List.iter (fun tap -> tap ~in_port ~out_port packet) t.forward_taps;
+      enqueue t ~port:out_port ~cls:0 ~mirror:false outgoing;
+      (* Mirror the pre-rewrite frame so the collector sees the routing
+         (shadow) MAC. The mirror copy is arbitrated into the monitor
+         port in a per-source-port class; SYN/FIN/RST copies may use
+         the strict-priority class, subject to the flood bound. *)
+      match t.monitor with
+      | Some monitor when t.mirrored.(out_port) ->
+          t.mirror_total <- t.mirror_total + 1;
+          let normal_cls =
+            match t.config.mirror_arbitration with
+            | Round_robin -> out_port
+            | Fifo -> 0
+          in
+          let special =
+            t.config.mirror_priority_special
+            &&
+            match packet.Packet.body with
+            | Packet.Ipv4 (_, Packet.Tcp tcp) ->
+                let f = tcp.Planck_packet.Headers.Tcp.flags in
+                f.Planck_packet.Headers.Tcp_flags.syn
+                || f.Planck_packet.Headers.Tcp_flags.fin
+                || f.Planck_packet.Headers.Tcp_flags.rst
+            | Packet.Ipv4 (_, Packet.Udp _) | Packet.Arp _ -> false
+          in
+          let within_budget =
+            float_of_int (t.mirror_special + 1)
+            <= (t.config.mirror_priority_max_fraction
+                *. float_of_int (t.mirror_total + 1))
+               +. 8.0
+          in
+          let cls =
+            if special && within_budget then begin
+              t.mirror_special <- t.mirror_special + 1;
+              (* The priority class sits just past the normal ones. *)
+              match t.config.mirror_arbitration with
+              | Round_robin -> t.nports
+              | Fifo -> 1
+            end
+            else normal_cls
+          in
+          enqueue t ~port:monitor ~cls ~mirror:true packet
+      | Some _ | None -> ()
+
+let inject t ~port packet =
+  check_port t port "inject";
+  enqueue t ~port ~cls:0 ~mirror:false packet
+
+let ingress t ~port packet =
+  check_port t port "ingress";
+  let c = t.counters.(port) in
+  c.rx_packets <- c.rx_packets + 1;
+  c.rx_bytes <- c.rx_bytes + packet.Packet.wire_size;
+  let jitter =
+    if t.config.pipeline_jitter <= 0 then 0
+    else Prng.int t.prng (t.config.pipeline_jitter + 1)
+  in
+  Engine.schedule t.engine
+    ~delay:(t.config.pipeline_latency + jitter)
+    (fun () -> forward t ~in_port:port packet)
+
+type port_stats = {
+  rx_packets : int;
+  rx_bytes : int;
+  tx_packets : int;
+  tx_bytes : int;
+  data_drops : int;
+  mirror_drops : int;
+}
+
+let port_stats t ~port =
+  check_port t port "port_stats";
+  let c = t.counters.(port) in
+  let tx_packets, tx_bytes =
+    match t.tx.(port) with
+    | None -> (0, 0)
+    | Some tx -> (Txport.tx_packets tx, Txport.tx_bytes tx)
+  in
+  {
+    rx_packets = c.rx_packets;
+    rx_bytes = c.rx_bytes;
+    tx_packets;
+    tx_bytes;
+    data_drops = c.data_drops;
+    mirror_drops = c.mirror_drops;
+  }
+
+let total_data_drops t =
+  Array.fold_left (fun acc (c : counters) -> acc + c.data_drops) 0 t.counters
+
+let total_mirror_drops t =
+  Array.fold_left (fun acc (c : counters) -> acc + c.mirror_drops) 0 t.counters
+
+let unroutable_drops t = t.unroutable
+let special_mirrored t = t.mirror_special
+
+let queue_bytes t ~port =
+  check_port t port "queue_bytes";
+  Buffer_pool.port_used t.buffer ~port
+
+let buffer_used t = Buffer_pool.total_used t.buffer

@@ -1,0 +1,98 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Packet = Planck_packet.Packet
+
+type t = {
+  engine : Engine.t;
+  rate : Rate.t;
+  prop_delay : Time.t;
+  queues : Packet.t Queue.t array;
+  priority_class : int option;
+  deliver : Packet.t -> unit;
+  on_depart : Packet.t -> unit;
+  mutable next_class : int; (* round-robin scan position *)
+  mutable busy : bool;
+  mutable queued_bytes : int;
+  mutable queued_packets : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+}
+
+let create engine ~rate ~prop_delay ~classes ?priority_class ~deliver
+    ~on_depart () =
+  if classes <= 0 then invalid_arg "Txport.create: classes must be positive";
+  (match priority_class with
+  | Some p when p < 0 || p >= classes ->
+      invalid_arg "Txport.create: priority class out of range"
+  | Some _ | None -> ());
+  {
+    engine;
+    rate;
+    prop_delay;
+    queues = Array.init classes (fun _ -> Queue.create ());
+    priority_class;
+    deliver;
+    on_depart;
+    next_class = 0;
+    busy = false;
+    queued_bytes = 0;
+    queued_packets = 0;
+    tx_packets = 0;
+    tx_bytes = 0;
+  }
+
+(* Strict priority first, then round-robin: scan from next_class for
+   the first non-empty sub-queue. *)
+let pop_next t =
+  let n = Array.length t.queues in
+  let from_priority =
+    match t.priority_class with
+    | Some p when not (Queue.is_empty t.queues.(p)) ->
+        Some (Queue.pop t.queues.(p))
+    | Some _ | None -> None
+  in
+  match from_priority with
+  | Some _ as packet -> packet
+  | None ->
+      let skip cls = t.priority_class = Some cls in
+      let rec scan i =
+        if i = n then None
+        else begin
+          let cls = (t.next_class + i) mod n in
+          if skip cls || Queue.is_empty t.queues.(cls) then scan (i + 1)
+          else begin
+            t.next_class <- (cls + 1) mod n;
+            Some (Queue.pop t.queues.(cls))
+          end
+        end
+      in
+      scan 0
+
+let rec transmit_next t =
+  match pop_next t with
+  | None -> t.busy <- false
+  | Some packet ->
+      t.busy <- true;
+      t.queued_bytes <- t.queued_bytes - packet.Packet.wire_size;
+      t.queued_packets <- t.queued_packets - 1;
+      let tx = Rate.tx_time t.rate ~bytes_:packet.Packet.wire_size in
+      Engine.schedule t.engine ~delay:tx (fun () ->
+          t.tx_packets <- t.tx_packets + 1;
+          t.tx_bytes <- t.tx_bytes + packet.Packet.wire_size;
+          t.on_depart packet;
+          Engine.schedule t.engine ~delay:t.prop_delay (fun () ->
+              t.deliver packet);
+          transmit_next t)
+
+let enqueue t ~cls packet =
+  Queue.push packet t.queues.(cls);
+  t.queued_bytes <- t.queued_bytes + packet.Packet.wire_size;
+  t.queued_packets <- t.queued_packets + 1;
+  if not t.busy then transmit_next t
+
+let queued_bytes t = t.queued_bytes
+let queued_packets t = t.queued_packets
+let busy t = t.busy
+let rate t = t.rate
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes

@@ -1,0 +1,43 @@
+(** A transmitting port: queue(s) + serializer + wire.
+
+    One [Txport.t] models one direction of one link: frames are queued,
+    serialized at the port rate, and delivered to the peer after the
+    propagation delay (store-and-forward: the peer sees the frame when
+    its last bit lands).
+
+    The queue is an array of per-class sub-queues served round-robin.
+    With a single class this degenerates to FIFO — hosts and normal
+    switch ports use that. A switch monitor port uses one class per
+    mirrored source port, reproducing the round-robin interleaving of
+    samples the paper observes (Figures 5–7). *)
+
+type t
+
+val create :
+  Engine.t ->
+  rate:Planck_util.Rate.t ->
+  prop_delay:Planck_util.Time.t ->
+  classes:int ->
+  ?priority_class:int ->
+  deliver:(Planck_packet.Packet.t -> unit) ->
+  on_depart:(Planck_packet.Packet.t -> unit) ->
+  unit ->
+  t
+(** [deliver] fires at the peer when a frame fully arrives;
+    [on_depart] fires locally when the last bit leaves the queue
+    (buffer-release point). [priority_class], if given, is served with
+    strict priority over the round-robin classes — the CoS queue the
+    paper proposes for SYN/FIN samples (§9.2). *)
+
+val enqueue : t -> cls:int -> Planck_packet.Packet.t -> unit
+(** Append to sub-queue [cls] and start the serializer if idle.
+    Admission control is the caller's job — this never drops. *)
+
+val queued_bytes : t -> int
+(** Bytes waiting (not counting the frame currently on the wire). *)
+
+val queued_packets : t -> int
+val busy : t -> bool
+val rate : t -> Planck_util.Rate.t
+val tx_packets : t -> int
+val tx_bytes : t -> int

@@ -1,0 +1,17 @@
+let default_prop_delay = Planck_util.Time.ns 300
+
+let host_to_switch host switch ~port ~rate ~prop_delay =
+  Host.connect host ~rate ~prop_delay ~deliver:(fun packet ->
+      Switch.ingress switch ~port packet);
+  Switch.connect switch ~port ~rate ~prop_delay ~deliver:(fun packet ->
+      Host.ingress host packet)
+
+let switch_to_switch sw_a ~port_a sw_b ~port_b ~rate ~prop_delay =
+  Switch.connect sw_a ~port:port_a ~rate ~prop_delay ~deliver:(fun packet ->
+      Switch.ingress sw_b ~port:port_b packet);
+  Switch.connect sw_b ~port:port_b ~rate ~prop_delay ~deliver:(fun packet ->
+      Switch.ingress sw_a ~port:port_a packet)
+
+let switch_to_sink switch ~port sink ~rate ~prop_delay =
+  Switch.connect switch ~port ~rate ~prop_delay ~deliver:(fun packet ->
+      Sink.ingress sink packet)

@@ -1,0 +1,32 @@
+(** Full-duplex cabling helpers. *)
+
+val host_to_switch :
+  Host.t ->
+  Switch.t ->
+  port:int ->
+  rate:Planck_util.Rate.t ->
+  prop_delay:Planck_util.Time.t ->
+  unit
+(** Connect both directions of a host–switch cable. *)
+
+val switch_to_switch :
+  Switch.t ->
+  port_a:int ->
+  Switch.t ->
+  port_b:int ->
+  rate:Planck_util.Rate.t ->
+  prop_delay:Planck_util.Time.t ->
+  unit
+
+val switch_to_sink :
+  Switch.t ->
+  port:int ->
+  Sink.t ->
+  rate:Planck_util.Rate.t ->
+  prop_delay:Planck_util.Time.t ->
+  unit
+(** Monitor-port cable: the sink never transmits, so only the
+    switch-to-sink direction is wired. *)
+
+val default_prop_delay : Planck_util.Time.t
+(** 300 ns — a few tens of metres of fibre plus PHY latency. *)

@@ -1,0 +1,26 @@
+module Packet = Planck_packet.Packet
+module Headers = Planck_packet.Headers
+module Mac = Planck_packet.Mac
+module Switch = Planck_netsim.Switch
+module Host = Planck_netsim.Host
+
+let packet_out channel switch ~port packet =
+  Control_channel.send channel (fun () -> Switch.inject switch ~port packet)
+
+let install_flow_rewrite channel switch ~key ~to_mac ~on_installed =
+  Control_channel.install_rule channel (fun () ->
+      Switch.add_flow_rewrite switch ~key ~to_mac;
+      on_installed ())
+
+let spoof_arp channel switch ~port ~target ~pretend_ip ~pretend_mac =
+  let request =
+    Packet.arp ~src_mac:pretend_mac ~dst_mac:(Host.mac target)
+      {
+        Headers.Arp.op = Headers.Arp.Request;
+        sender_mac = pretend_mac;
+        sender_ip = pretend_ip;
+        target_mac = Host.mac target;
+        target_ip = Host.ip target;
+      }
+  in
+  packet_out channel switch ~port request

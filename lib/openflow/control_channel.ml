@@ -1,0 +1,57 @@
+module Time = Planck_util.Time
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+
+type config = {
+  one_way_min : Time.t;
+  one_way_max : Time.t;
+  rule_install_min : Time.t;
+  rule_install_max : Time.t;
+  stats_read : Time.t;
+}
+
+let default_config =
+  {
+    one_way_min = Time.us 100;
+    one_way_max = Time.us 250;
+    rule_install_min = Time.us 2500;
+    rule_install_max = Time.us 6000;
+    stats_read = Time.ms 25;
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  prng : Prng.t;
+  mutable last_delivery : Time.t; (* FIFO ordering floor *)
+}
+
+let create engine ?(config = default_config) ~prng () =
+  { engine; cfg = config; prng; last_delivery = 0 }
+
+let config t = t.cfg
+
+let uniform t lo hi = if hi <= lo then lo else lo + Prng.int t.prng (hi - lo + 1)
+
+let deliver_after t delay k =
+  let now = Engine.now t.engine in
+  let at = max (now + delay) (t.last_delivery + 1) in
+  t.last_delivery <- at;
+  Engine.schedule t.engine ~delay:(at - now) k
+
+let send t k = deliver_after t (uniform t t.cfg.one_way_min t.cfg.one_way_max) k
+
+(* Rule installs and counter reads run on the target switch's own CPU,
+   so different switches proceed in parallel: no FIFO clamp. *)
+let install_rule t k =
+  let latency =
+    uniform t t.cfg.one_way_min t.cfg.one_way_max
+    + uniform t t.cfg.rule_install_min t.cfg.rule_install_max
+  in
+  Engine.schedule t.engine ~delay:latency k
+
+let read_stats t k =
+  let latency =
+    (2 * uniform t t.cfg.one_way_min t.cfg.one_way_max) + t.cfg.stats_read
+  in
+  Engine.schedule t.engine ~delay:latency k

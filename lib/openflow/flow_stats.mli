@@ -1,0 +1,31 @@
+(** OpenFlow-style per-flow byte counters in the switch ASIC.
+
+    This is the substrate the {e polling} traffic-engineering baselines
+    read: every forwarded frame increments a per-5-tuple counter, and
+    the controller reads the whole table through the control channel,
+    paying its latency. Planck exists because this path is slow;
+    building it honestly lets the comparison in §7 run. *)
+
+type counter = {
+  key : Planck_packet.Flow_key.t;
+  bytes : int;
+  packets : int;
+  dst_mac : Planck_packet.Mac.t;  (** MAC of the last counted frame *)
+}
+
+type t
+
+val attach : Planck_netsim.Switch.t -> t
+(** Install the counting tap on a switch. One per switch. *)
+
+val snapshot : t -> counter list
+(** Current counter values (zero-latency read, for tests). *)
+
+val poll :
+  t -> channel:Control_channel.t -> (counter list -> unit) -> unit
+(** Read the counters as a controller would: the callback runs after
+    the control-channel round trip + read time, with values captured at
+    {e capture time} (i.e. the values are as stale as the read is
+    slow). *)
+
+val flow_count : t -> int

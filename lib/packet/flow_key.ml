@@ -1,0 +1,56 @@
+type t = {
+  src_ip : Ipv4_addr.t;
+  dst_ip : Ipv4_addr.t;
+  src_port : int;
+  dst_port : int;
+  protocol : int;
+}
+
+let of_packet (p : Packet.t) =
+  match p.body with
+  | Packet.Arp _ -> None
+  | Packet.Ipv4 (ip, l4) ->
+      let src_port, dst_port =
+        match l4 with
+        | Packet.Tcp tcp -> (tcp.Headers.Tcp.src_port, tcp.Headers.Tcp.dst_port)
+        | Packet.Udp udp -> (udp.Headers.Udp.src_port, udp.Headers.Udp.dst_port)
+      in
+      Some
+        {
+          src_ip = ip.Headers.Ipv4.src;
+          dst_ip = ip.Headers.Ipv4.dst;
+          src_port;
+          dst_port;
+          protocol = ip.Headers.Ipv4.protocol;
+        }
+
+let reverse t =
+  {
+    src_ip = t.dst_ip;
+    dst_ip = t.src_ip;
+    src_port = t.dst_port;
+    dst_port = t.src_port;
+    protocol = t.protocol;
+  }
+
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let hash (t : t) = Hashtbl.hash t
+
+let pp ppf t =
+  Format.fprintf ppf "%a:%d > %a:%d/%s" Ipv4_addr.pp t.src_ip t.src_port
+    Ipv4_addr.pp t.dst_ip t.dst_port
+    (if t.protocol = Headers.Ipv4.protocol_tcp then "tcp"
+     else if t.protocol = Headers.Ipv4.protocol_udp then "udp"
+     else string_of_int t.protocol)
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Key)
+module Map = Map.Make (Key)

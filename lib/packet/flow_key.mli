@@ -1,0 +1,26 @@
+(** Transport-flow identity: the classic 5-tuple.
+
+    The collector's flow table (paper §3.2.2) and the controller's
+    traffic-engineering state are both keyed by this. *)
+
+type t = {
+  src_ip : Ipv4_addr.t;
+  dst_ip : Ipv4_addr.t;
+  src_port : int;
+  dst_port : int;
+  protocol : int;
+}
+
+val of_packet : Packet.t -> t option
+(** The 5-tuple of a TCP or UDP frame; [None] for ARP. *)
+
+val reverse : t -> t
+(** Key of the opposite direction (ACK stream) of the same connection. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+module Map : Map.S with type key = t

@@ -1,0 +1,130 @@
+module Tcp_flags = struct
+  type t = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+  let none = { syn = false; ack = false; fin = false; rst = false; psh = false }
+  let syn = { none with syn = true }
+  let syn_ack = { none with syn = true; ack = true }
+  let ack = { none with ack = true }
+  let fin_ack = { none with fin = true; ack = true }
+
+  (* Bit layout follows the TCP header: FIN=0x01 SYN=0x02 RST=0x04
+     PSH=0x08 ACK=0x10. *)
+  let to_byte t =
+    (if t.fin then 0x01 else 0)
+    lor (if t.syn then 0x02 else 0)
+    lor (if t.rst then 0x04 else 0)
+    lor (if t.psh then 0x08 else 0)
+    lor if t.ack then 0x10 else 0
+
+  let of_byte b =
+    {
+      fin = b land 0x01 <> 0;
+      syn = b land 0x02 <> 0;
+      rst = b land 0x04 <> 0;
+      psh = b land 0x08 <> 0;
+      ack = b land 0x10 <> 0;
+    }
+
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    let letters =
+      List.filter_map
+        (fun (flag, c) -> if flag then Some c else None)
+        [ (t.syn, "S"); (t.ack, "A"); (t.fin, "F"); (t.rst, "R"); (t.psh, "P") ]
+    in
+    Format.pp_print_string ppf
+      (if letters = [] then "." else String.concat "" letters)
+end
+
+module Eth = struct
+  type t = { src : Mac.t; dst : Mac.t; ethertype : int }
+
+  let ethertype_ipv4 = 0x0800
+  let ethertype_arp = 0x0806
+  let size = 14
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "%a -> %a (0x%04x)" Mac.pp t.src Mac.pp t.dst
+      t.ethertype
+end
+
+module Arp = struct
+  type op = Request | Reply
+
+  type t = {
+    op : op;
+    sender_mac : Mac.t;
+    sender_ip : Ipv4_addr.t;
+    target_mac : Mac.t;
+    target_ip : Ipv4_addr.t;
+  }
+
+  let size = 28
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    let op = match t.op with Request -> "who-has" | Reply -> "is-at" in
+    Format.fprintf ppf "arp %s %a tell %a (%a)" op Ipv4_addr.pp t.target_ip
+      Ipv4_addr.pp t.sender_ip Mac.pp t.sender_mac
+end
+
+module Ipv4 = struct
+  type t = {
+    src : Ipv4_addr.t;
+    dst : Ipv4_addr.t;
+    protocol : int;
+    ttl : int;
+    total_length : int;
+  }
+
+  let protocol_tcp = 6
+  let protocol_udp = 17
+  let size = 20
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "%a -> %a proto=%d len=%d" Ipv4_addr.pp t.src
+      Ipv4_addr.pp t.dst t.protocol t.total_length
+end
+
+module Tcp = struct
+  type t = {
+    src_port : int;
+    dst_port : int;
+    seq : int;
+    ack_seq : int;
+    flags : Tcp_flags.t;
+    window : int;
+    sack : (int * int) list;
+  }
+
+  let size = 20
+  let max_sack_blocks = 3
+
+  (* SACK option: kind (1) + length (1) + 8 bytes per block, padded to a
+     multiple of 4 with NOPs. *)
+  let header_size t =
+    match t.sack with
+    | [] -> size
+    | blocks ->
+        let option_bytes = 2 + (8 * List.length blocks) in
+        size + ((option_bytes + 3) / 4 * 4)
+
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "tcp %d -> %d seq=%d ack=%d [%a]" t.src_port t.dst_port
+      t.seq t.ack_seq Tcp_flags.pp t.flags
+end
+
+module Udp = struct
+  type t = { src_port : int; dst_port : int; length : int }
+
+  let size = 8
+  let equal (a : t) b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "udp %d -> %d len=%d" t.src_port t.dst_port t.length
+end

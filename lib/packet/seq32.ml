@@ -1,0 +1,9 @@
+let modulus = 1 lsl 32
+let half = 1 lsl 31
+let wrap seq = seq land (modulus - 1)
+
+let delta ~prev ~cur =
+  let d = (cur - prev) land (modulus - 1) in
+  if d >= half then d - modulus else d
+
+let unwrap ~base seq32 = base + delta ~prev:(wrap base) ~cur:(wrap seq32)

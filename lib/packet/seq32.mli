@@ -1,0 +1,19 @@
+(** 32-bit TCP sequence-number arithmetic.
+
+    Sequence numbers on the wire are 32-bit byte counters that wrap
+    every 4 GiB; the paper's workloads reach 100 GiB, so both the TCP
+    stack and the collector's rate estimator must unwrap them. *)
+
+val modulus : int
+(** 2{^32}. *)
+
+val wrap : int -> int
+(** Truncate a full-width byte offset to its on-wire representation. *)
+
+val delta : prev:int -> cur:int -> int
+(** Signed distance from on-wire [prev] to on-wire [cur], interpreted
+    mod 2{^32}, in [\[-2{^31}, 2{^31})]. Positive means [cur] is ahead. *)
+
+val unwrap : base:int -> int -> int
+(** [unwrap ~base seq32] is the full-width offset closest to the
+    full-width [base] whose low 32 bits equal [seq32]. *)

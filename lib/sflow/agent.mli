@@ -1,0 +1,50 @@
+(** An sFlow agent: the state-of-the-art sampling baseline (paper §2.1).
+
+    One in [sampling_rate] forwarded frames is selected; the sample
+    (headers + metadata, including input/output port and the sampling
+    rate) is shipped to the collector {e through the switch's
+    control-plane CPU and PCI bus}, which caps the sustainable sample
+    rate — about 300 samples per second on the IBM G8264 the paper
+    measured. Samples beyond the budget are dropped at the agent, which
+    is exactly why sFlow needs seconds of aggregation for accurate
+    estimates. *)
+
+type sample = {
+  time : Planck_util.Time.t;  (** when the collector receives it *)
+  key : Planck_packet.Flow_key.t option;
+  wire_size : int;
+  in_port : int;
+  out_port : int;
+  dst_mac : Planck_packet.Mac.t;
+  sampling_rate : int;
+}
+
+type config = {
+  sampling_rate : int;  (** select 1 in N *)
+  max_samples_per_sec : int;  (** control-plane CPU ceiling (~300) *)
+  export_latency_min : Planck_util.Time.t;  (** CPU + PCI + mgmt net *)
+  export_latency_max : Planck_util.Time.t;
+}
+
+val default_config : config
+(** 1-in-256 sampling, 300 samples/s cap, 0.5–2 ms export latency. *)
+
+type t
+
+val attach :
+  Planck_netsim.Engine.t ->
+  Planck_netsim.Switch.t ->
+  ?config:config ->
+  prng:Planck_util.Prng.t ->
+  collector:(sample -> unit) ->
+  unit ->
+  t
+
+val selected : t -> int
+(** Frames picked by the 1-in-N sampler. *)
+
+val exported : t -> int
+(** Samples that made it through the control-plane budget. *)
+
+val throttled : t -> int
+(** Samples dropped by the CPU/PCI ceiling. *)

@@ -1,0 +1,59 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Flow_key = Planck_packet.Flow_key
+
+type t = {
+  window : Time.t;
+  samples : Agent.sample Queue.t;
+  mutable first_sample : Time.t; (* -1 until a sample arrives *)
+}
+
+let create ?(window = Time.s 1) () =
+  { window; samples = Queue.create (); first_sample = -1 }
+
+let prune t ~now =
+  while
+    (not (Queue.is_empty t.samples))
+    && (Queue.peek t.samples).Agent.time < now - t.window
+  do
+    ignore (Queue.pop t.samples)
+  done
+
+let add t sample =
+  if t.first_sample < 0 then t.first_sample <- sample.Agent.time;
+  Queue.push sample t.samples;
+  prune t ~now:sample.Agent.time
+
+let scaled_bytes matching t ~now =
+  prune t ~now;
+  let bytes = ref 0 in
+  Queue.iter
+    (fun s ->
+      if matching s then bytes := !bytes + (s.Agent.wire_size * s.Agent.sampling_rate))
+    t.samples;
+  !bytes
+
+(* Average over the aggregation window, shortened while less than a
+   full window of samples exists yet. *)
+let effective_window t ~now =
+  if t.first_sample < 0 then t.window
+  else max Time.microsecond (min t.window (now - t.first_sample))
+
+let rate_of_bytes t ~now bytes =
+  if bytes = 0 then 0.0 else Rate.of_bytes_per bytes (effective_window t ~now)
+
+let flow_rate t ~now key =
+  rate_of_bytes t ~now
+    (scaled_bytes (fun s -> s.Agent.key = Some key) t ~now)
+
+let link_utilization t ~now ~out_port =
+  rate_of_bytes t ~now
+    (scaled_bytes (fun s -> s.Agent.out_port = out_port) t ~now)
+
+let samples_in_window t ~now =
+  prune t ~now;
+  Queue.length t.samples
+
+let expected_error ~samples =
+  if samples <= 0 then infinity
+  else 196.0 *. sqrt (1.0 /. float_of_int samples)

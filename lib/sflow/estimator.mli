@@ -1,0 +1,30 @@
+(** Classic sFlow-side estimation: multiply sampled bytes by the
+    sampling rate over an aggregation window (paper §2.1).
+
+    With [s] samples the relative error is roughly [196 · sqrt (1/s)]
+    percent; at 300 samples/s a second-long window over one link is
+    already ~11 % off, which is the paper's argument for why this class
+    of estimator cannot run at millisecond timescales. {!expected_error}
+    exposes that formula for the Table 1 comparison. *)
+
+type t
+
+val create : ?window:Planck_util.Time.t -> unit -> t
+(** Aggregation window, default 1 s. *)
+
+val add : t -> Agent.sample -> unit
+
+val flow_rate :
+  t ->
+  now:Planck_util.Time.t ->
+  Planck_packet.Flow_key.t ->
+  Planck_util.Rate.t
+(** Estimated rate of a flow from the samples inside the window. *)
+
+val link_utilization :
+  t -> now:Planck_util.Time.t -> out_port:int -> Planck_util.Rate.t
+
+val samples_in_window : t -> now:Planck_util.Time.t -> int
+
+val expected_error : samples:int -> float
+(** [196 · sqrt (1/s)] percent, from Phaal & Panchen. *)

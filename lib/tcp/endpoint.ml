@@ -1,0 +1,31 @@
+module Host = Planck_netsim.Host
+module Flow_key = Planck_packet.Flow_key
+module Packet = Planck_packet.Packet
+
+type t = {
+  host : Host.t;
+  handlers : (Packet.t -> unit) Flow_key.Table.t;
+  mutable unclaimed : int;
+}
+
+let create host =
+  let t = { host; handlers = Flow_key.Table.create 16; unclaimed = 0 } in
+  Host.set_receive host (fun packet ->
+      match Flow_key.of_packet packet with
+      | None -> t.unclaimed <- t.unclaimed + 1
+      | Some key -> (
+          match Flow_key.Table.find_opt t.handlers key with
+          | Some handler -> handler packet
+          | None -> t.unclaimed <- t.unclaimed + 1));
+  t
+
+let host t = t.host
+let engine t = Host.engine t.host
+
+let register t key f =
+  if Flow_key.Table.mem t.handlers key then
+    invalid_arg "Endpoint.register: flow key already registered";
+  Flow_key.Table.replace t.handlers key f
+
+let unregister t key = Flow_key.Table.remove t.handlers key
+let unclaimed t = t.unclaimed

@@ -1,0 +1,24 @@
+(** Per-host TCP demultiplexer.
+
+    Owns the host's receive callback and dispatches incoming segments to
+    the flow registered for their 5-tuple. *)
+
+type t
+
+val create : Planck_netsim.Host.t -> t
+(** Takes over the host's receive handler. Create exactly one endpoint
+    per host. *)
+
+val host : t -> Planck_netsim.Host.t
+val engine : t -> Planck_netsim.Engine.t
+
+val register :
+  t -> Planck_packet.Flow_key.t -> (Planck_packet.Packet.t -> unit) -> unit
+(** [register t key f]: segments whose 5-tuple is [key] go to [f].
+    [key] is the key {e of the incoming packets} (source = remote peer).
+    Raises [Invalid_argument] if the key is taken. *)
+
+val unregister : t -> Planck_packet.Flow_key.t -> unit
+
+val unclaimed : t -> int
+(** Segments that matched no registration. *)

@@ -1,0 +1,76 @@
+(** A packet-level TCP Reno/NewReno flow.
+
+    One [Flow.t] is a unidirectional bulk transfer: a sender state
+    machine on the source endpoint and a receiver (pure ACK generator
+    with out-of-order reassembly) on the destination endpoint. The
+    model implements the mechanisms the paper's results depend on:
+
+    - slow start and congestion avoidance with ACK clocking (the bursty
+      slow-start behaviour of Figure 10 emerges from this);
+    - duplicate-ACK fast retransmit and NewReno fast recovery;
+    - retransmission timeouts with Karn's rule and exponential backoff;
+    - 32-bit on-wire sequence numbers that wrap (flows up to 100 GiB);
+    - per-segment destination-MAC resolution through the host's ARP
+      cache, so an ARP-based reroute takes effect on the very next
+      transmitted segment (§6.2).
+
+    Senders do not pace: a window opens and segments are handed to the
+    host stack back-to-back, as real kernels do (cf. the "Bullet
+    Trains" burstiness the paper cites). *)
+
+type params = {
+  mss : int;  (** payload bytes per segment (1460) *)
+  initial_window : int;  (** initial cwnd, in segments (IW10) *)
+  min_rto : Planck_util.Time.t;  (** Linux default: 200 ms *)
+  max_flight : int;
+      (** receive-window stand-in, bytes. The 1 MiB default models a
+          receive-window-autotuned stack: ~3x the testbed BDP, enough
+          for line rate, small enough that a lone flow's standing
+          self-queue stays under ~0.6 ms *)
+  handshake : bool;  (** model the SYN / SYN-ACK exchange *)
+  isn : int;
+      (** initial sequence number; the default 0 keeps traces easy to
+          read, any 32-bit value (real stacks randomize) exercises
+          wraparound *)
+}
+
+val default_params : params
+
+type t
+
+val start :
+  src:Endpoint.t ->
+  dst:Endpoint.t ->
+  src_port:int ->
+  dst_port:int ->
+  size:int ->
+  ?params:params ->
+  ?on_complete:(t -> unit) ->
+  unit ->
+  t
+(** Begin transferring [size] bytes now. The flow registers itself on
+    both endpoints; [on_complete] fires when the last byte is
+    acknowledged. Raises [Invalid_argument] if [size <= 0] or the
+    source host cannot resolve the destination's address. *)
+
+val key : t -> Planck_packet.Flow_key.t
+(** 5-tuple of the data direction. *)
+
+val size : t -> int
+val completed : t -> bool
+val started_at : t -> Planck_util.Time.t
+val completed_at : t -> Planck_util.Time.t option
+
+val bytes_acked : t -> int
+
+val goodput : t -> Planck_util.Rate.t option
+(** [size / (completion - start)], once complete. *)
+
+val retransmits : t -> int
+val timeouts : t -> int
+
+val cwnd_bytes : t -> int
+(** Current congestion window (diagnostic). *)
+
+val debug_state : t -> string
+(** One-line dump of the sender state machine (diagnostic). *)

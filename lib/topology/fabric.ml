@@ -1,0 +1,128 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+module Host = Planck_netsim.Host
+module Wiring = Planck_netsim.Wiring
+
+type peer =
+  | To_host of int
+  | To_switch of int * int
+  | To_monitor
+  | Unwired
+
+type t = {
+  engine : Engine.t;
+  switches : Switch.t array;
+  hosts : Host.t array;
+  adjacency : peer array array; (* adjacency.(switch).(port) *)
+  host_attach : (int * int) array;
+  monitors : int option array;
+  link_rate : Rate.t;
+  prop_delay : Time.t;
+  switch_ports : int;
+}
+
+let build engine ~switch_ports ~switch_config ~link_rate
+    ?(prop_delay = Wiring.default_prop_delay) ?host_stack ~num_switches
+    ~num_hosts ~prng () =
+  let switches =
+    Array.init num_switches (fun i ->
+        Switch.create engine
+          ~name:(Printf.sprintf "s%d" i)
+          ~ports:switch_ports ~config:switch_config
+          ~prng:(Prng.split prng) ())
+  in
+  let hosts =
+    Array.init num_hosts (fun i ->
+        Host.create engine ~id:i ?stack:host_stack ~prng:(Prng.split prng) ())
+  in
+  {
+    engine;
+    switches;
+    hosts;
+    adjacency =
+      Array.init num_switches (fun _ -> Array.make switch_ports Unwired);
+    host_attach = Array.make num_hosts (-1, -1);
+    monitors = Array.make num_switches None;
+    link_rate;
+    prop_delay;
+    switch_ports;
+  }
+
+let check_unwired t ~switch ~port =
+  match t.adjacency.(switch).(port) with
+  | Unwired -> ()
+  | To_host _ | To_switch _ | To_monitor ->
+      invalid_arg
+        (Printf.sprintf "Fabric: switch %d port %d already wired" switch port)
+
+let wire_host t ~host ~switch ~port =
+  check_unwired t ~switch ~port;
+  Wiring.host_to_switch t.hosts.(host) t.switches.(switch) ~port
+    ~rate:t.link_rate ~prop_delay:t.prop_delay;
+  t.adjacency.(switch).(port) <- To_host host;
+  t.host_attach.(host) <- (switch, port)
+
+let wire_switches t ~a ~port_a ~b ~port_b =
+  check_unwired t ~switch:a ~port:port_a;
+  check_unwired t ~switch:b ~port:port_b;
+  Wiring.switch_to_switch t.switches.(a) ~port_a t.switches.(b) ~port_b
+    ~rate:t.link_rate ~prop_delay:t.prop_delay;
+  t.adjacency.(a).(port_a) <- To_switch (b, port_b);
+  t.adjacency.(b).(port_b) <- To_switch (a, port_a)
+
+let reserve_monitor t ~switch ~port =
+  check_unwired t ~switch ~port;
+  t.adjacency.(switch).(port) <- To_monitor;
+  t.monitors.(switch) <- Some port
+
+let engine t = t.engine
+let switch_count t = Array.length t.switches
+let host_count t = Array.length t.hosts
+let switch t i = t.switches.(i)
+let host t i = t.hosts.(i)
+let hosts t = t.hosts
+let link_rate t = t.link_rate
+let switch_ports t = t.switch_ports
+let peer t ~switch ~port = t.adjacency.(switch).(port)
+
+let host_attachment t ~host =
+  let attach = t.host_attach.(host) in
+  if fst attach < 0 then
+    invalid_arg (Printf.sprintf "Fabric.host_attachment: host %d unwired" host);
+  attach
+
+let monitor_port t ~switch = t.monitors.(switch)
+
+let data_ports t ~switch =
+  let ports = ref [] in
+  Array.iteri
+    (fun port -> function
+      | To_host _ | To_switch _ -> ports := port :: !ports
+      | To_monitor | Unwired -> ())
+    t.adjacency.(switch);
+  List.rev !ports
+
+let attach_sink t ~switch ~deliver =
+  match t.monitors.(switch) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fabric.attach_sink: switch %d has no monitor port"
+           switch)
+  | Some port ->
+      Switch.connect t.switches.(switch) ~port ~rate:t.link_rate
+        ~prop_delay:t.prop_delay ~deliver;
+      Switch.set_mirror t.switches.(switch) ~monitor:port
+        ~mirrored:(data_ports t ~switch)
+
+let populate_arp t =
+  Array.iter
+    (fun h ->
+      Array.iter
+        (fun other ->
+          if Host.id other <> Host.id h then
+            Host.arp_set h (Host.ip other) (Host.mac other))
+        t.hosts)
+    t.hosts

@@ -1,0 +1,65 @@
+(** A built network: simulated switches and hosts plus the logical
+    adjacency the control plane reasons over.
+
+    Builders ({!Fat_tree}, {!Single_switch}, {!Jellyfish}) return one of
+    these. Monitor ports are reserved at build time; the monitoring
+    layer attaches capture sinks to them with {!attach_sink}. *)
+
+type peer =
+  | To_host of int  (** host id *)
+  | To_switch of int * int  (** (switch id, peer port) *)
+  | To_monitor  (** reserved for a capture sink *)
+  | Unwired
+
+type t
+
+val build :
+  Planck_netsim.Engine.t ->
+  switch_ports:int ->
+  switch_config:Planck_netsim.Switch.config ->
+  link_rate:Planck_util.Rate.t ->
+  ?prop_delay:Planck_util.Time.t ->
+  ?host_stack:Planck_netsim.Host.stack ->
+  num_switches:int ->
+  num_hosts:int ->
+  prng:Planck_util.Prng.t ->
+  unit ->
+  t
+(** Allocate switches and hosts; no cables yet. Builders call this and
+    then {!wire_host} / {!wire_switches} / {!reserve_monitor}. *)
+
+(** {2 Wiring (builders only)} *)
+
+val wire_host : t -> host:int -> switch:int -> port:int -> unit
+val wire_switches : t -> a:int -> port_a:int -> b:int -> port_b:int -> unit
+val reserve_monitor : t -> switch:int -> port:int -> unit
+
+(** {2 Access} *)
+
+val engine : t -> Planck_netsim.Engine.t
+val switch_count : t -> int
+val host_count : t -> int
+val switch : t -> int -> Planck_netsim.Switch.t
+val host : t -> int -> Planck_netsim.Host.t
+val hosts : t -> Planck_netsim.Host.t array
+val link_rate : t -> Planck_util.Rate.t
+val switch_ports : t -> int
+
+val peer : t -> switch:int -> port:int -> peer
+val host_attachment : t -> host:int -> int * int
+(** (edge switch, port) of a host's uplink. *)
+
+val monitor_port : t -> switch:int -> int option
+
+val attach_sink :
+  t -> switch:int -> deliver:(Planck_packet.Packet.t -> unit) -> unit
+(** Cable the reserved monitor port of [switch] to a capture sink and
+    enable mirroring of every wired data port to it. Raises
+    [Invalid_argument] if no monitor port was reserved. *)
+
+val populate_arp : t -> unit
+(** Give every host a static ARP entry for every other host's base
+    MAC — the experiments start from converged caches. *)
+
+val data_ports : t -> switch:int -> int list
+(** Wired, non-monitor ports of a switch. *)

@@ -1,0 +1,118 @@
+type shape = {
+  k : int;
+  pods : int;
+  cores : int;
+  aggs_per_pod : int;
+  edges_per_pod : int;
+  hosts_per_edge : int;
+  num_switches : int;
+  num_hosts : int;
+}
+
+let shape ~k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Fat_tree.shape: k must be even and >= 2";
+  let half = k / 2 in
+  let cores = half * half in
+  {
+    k;
+    pods = k;
+    cores;
+    aggs_per_pod = half;
+    edges_per_pod = half;
+    hosts_per_edge = half;
+    num_switches = cores + (k * half * 2);
+    num_hosts = k * half * half;
+  }
+
+let core_id _ c = c
+let agg_id s ~pod i = s.cores + (pod * s.aggs_per_pod) + i
+
+let edge_id s ~pod j =
+  s.cores + (s.pods * s.aggs_per_pod) + (pod * s.edges_per_pod) + j
+
+let host_of s ~pod ~edge ~slot =
+  (pod * s.edges_per_pod * s.hosts_per_edge) + (edge * s.hosts_per_edge) + slot
+
+let pod_of_host s h = h / (s.edges_per_pod * s.hosts_per_edge)
+
+let edge_of_host s h =
+  h mod (s.edges_per_pod * s.hosts_per_edge) / s.hosts_per_edge
+
+let slot_of_host s h = h mod s.hosts_per_edge
+
+(* Port conventions (all switches have k data ports + 1 monitor port):
+   - edge(p,j):  ports 0..k/2-1 down to hosts, port k/2+i up to agg i
+   - agg(p,i):   ports 0..k/2-1 down to edge j, port k/2+m up to core
+                 i*(k/2)+m
+   - core(c):    port p down to pod p (agg index c/(k/2))
+   - monitor:    port k everywhere *)
+
+let build engine ~k ~switch_config ~link_rate ?host_stack ~prng () =
+  let s = shape ~k in
+  let half = k / 2 in
+  let fabric =
+    Fabric.build engine ~switch_ports:(k + 1) ~switch_config ~link_rate
+      ?host_stack ~num_switches:s.num_switches ~num_hosts:s.num_hosts ~prng ()
+  in
+  for pod = 0 to s.pods - 1 do
+    for j = 0 to s.edges_per_pod - 1 do
+      let edge = edge_id s ~pod j in
+      (* Hosts below the edge switch. *)
+      for slot = 0 to s.hosts_per_edge - 1 do
+        Fabric.wire_host fabric
+          ~host:(host_of s ~pod ~edge:j ~slot)
+          ~switch:edge ~port:slot
+      done;
+      (* Uplinks edge -> aggregation. *)
+      for i = 0 to s.aggs_per_pod - 1 do
+        Fabric.wire_switches fabric ~a:edge ~port_a:(half + i)
+          ~b:(agg_id s ~pod i) ~port_b:j
+      done
+    done;
+    (* Uplinks aggregation -> core. *)
+    for i = 0 to s.aggs_per_pod - 1 do
+      for m = 0 to half - 1 do
+        let core = (i * half) + m in
+        Fabric.wire_switches fabric ~a:(agg_id s ~pod i) ~port_a:(half + m)
+          ~b:(core_id s core) ~port_b:pod
+      done
+    done
+  done;
+  for sw = 0 to s.num_switches - 1 do
+    Fabric.reserve_monitor fabric ~switch:sw ~port:k
+  done;
+  (fabric, s)
+
+let max_alts s = s.cores
+let core_for s ~dst ~alt = (dst + alt) mod s.cores
+
+let tree_out_ports s ~dst ~core =
+  let half = s.k / 2 in
+  let i_c = core / half (* aggregation index the core attaches to *)
+  and m_c = core mod half in
+  let p_d = pod_of_host s dst
+  and j_d = edge_of_host s dst
+  and s_d = slot_of_host s dst in
+  let out = Array.make s.num_switches (-1) in
+  (* Core: straight down to the destination pod. *)
+  out.(core_id s core) <- p_d;
+  for pod = 0 to s.pods - 1 do
+    let agg = agg_id s ~pod i_c in
+    if pod = p_d then
+      (* Destination pod: aggregation goes down to the right edge. *)
+      out.(agg) <- j_d
+    else
+      (* Remote pods: aggregation goes up to the tree's core. *)
+      out.(agg) <- half + m_c;
+    for j = 0 to s.edges_per_pod - 1 do
+      let edge = edge_id s ~pod j in
+      if pod = p_d && j = j_d then
+        (* Destination edge: down to the host port. *)
+        out.(edge) <- s_d
+      else
+        (* Everyone else climbs to the tree's aggregation switch. *)
+        out.(edge) <- half + i_c
+    done
+  done;
+  out

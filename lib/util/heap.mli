@@ -1,0 +1,26 @@
+(** A binary min-heap keyed by integer priorities.
+
+    Used as the event queue of the discrete-event engine, so insertion
+    order is preserved among equal keys (FIFO tie-breaking): two events
+    scheduled for the same instant fire in the order they were added. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty heap. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key]. O(log n). *)
+
+val min_key : 'a t -> int option
+(** Key of the minimum element, or [None] if empty. O(1). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum element (FIFO among equal keys).
+    O(log n). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width cell =
+  let n = String.length cell in
+  if n >= width then cell
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> cell ^ fill | Right -> fill ^ cell
+
+let column_alignment align ncols =
+  let given = match align with Some l -> l | None -> [] in
+  List.init ncols (fun i ->
+      match List.nth_opt given i with
+      | Some a -> a
+      | None -> if i = 0 then Left else Right)
+
+let normalize ncols row =
+  let n = List.length row in
+  if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (normalize ncols) rows in
+  let aligns = column_alignment align ncols in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row row =
+    let cells =
+      List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) row
+    in
+    String.concat "  " cells
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: sep :: body) @ [ "" ])
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  flush stdout
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~header rows =
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"

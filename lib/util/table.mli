@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark and experiment output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with aligned columns and a
+    separator under the header. [align] gives per-column alignment
+    (default: first column left, the rest right); missing entries default
+    likewise. Rows shorter than the header are padded with empty cells. *)
+
+val print :
+  ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val csv : header:string list -> string list list -> string
+(** Comma-separated rendering of the same data (cells containing commas
+    or quotes are quoted). *)

@@ -1,0 +1,72 @@
+module Prng = Planck_util.Prng
+module Fat_tree = Planck_topology.Fat_tree
+
+type pair = { src : int; dst : int }
+
+let stride ~hosts ~k =
+  if hosts <= 1 then invalid_arg "Generate.stride: need at least 2 hosts";
+  if k mod hosts = 0 then invalid_arg "Generate.stride: k maps hosts to selves";
+  List.init hosts (fun x -> { src = x; dst = (x + k) mod hosts })
+
+let random_bijection prng ~hosts =
+  let p = Prng.derangement prng hosts in
+  List.init hosts (fun x -> { src = x; dst = p.(x) })
+
+let random_uniform prng ~hosts =
+  List.init hosts (fun x ->
+      let rec draw () =
+        let d = Prng.int prng hosts in
+        if d = x then draw () else d
+      in
+      { src = x; dst = draw () })
+
+let staggered_prob prng ~shape ~p_edge ~p_pod =
+  if p_edge < 0.0 || p_pod < 0.0 || p_edge +. p_pod > 1.0 then
+    invalid_arg "Generate.staggered_prob: bad probabilities";
+  let hosts = shape.Fat_tree.num_hosts in
+  let per_edge = shape.Fat_tree.hosts_per_edge in
+  let per_pod = per_edge * shape.Fat_tree.edges_per_pod in
+  let pick_in lo count exclude =
+    (* Uniform in [lo, lo+count) excluding [exclude]. *)
+    let rec draw () =
+      let d = lo + Prng.int prng count in
+      if d = exclude then draw () else d
+    in
+    if count <= 1 then exclude else draw ()
+  in
+  List.init hosts (fun x ->
+      let edge_base = x / per_edge * per_edge in
+      let pod_base = x / per_pod * per_pod in
+      let u = Prng.float prng 1.0 in
+      let dst =
+        if u < p_edge && per_edge > 1 then pick_in edge_base per_edge x
+        else if u < p_edge +. p_pod && per_pod > per_edge then begin
+          (* Same pod but a different edge switch. *)
+          let rec draw () =
+            let d = pod_base + Prng.int prng per_pod in
+            if d / per_edge = x / per_edge then draw () else d
+          in
+          draw ()
+        end
+        else begin
+          (* Outside the pod. *)
+          let rec draw () =
+            let d = Prng.int prng hosts in
+            if d / per_pod = x / per_pod then draw () else d
+          in
+          if hosts > per_pod then draw () else pick_in 0 hosts x
+        end
+      in
+      { src = x; dst })
+
+let shuffle_orders prng ~hosts =
+  Array.init hosts (fun h ->
+      let peers =
+        Array.of_list (List.filter (fun p -> p <> h) (List.init hosts Fun.id))
+      in
+      Prng.shuffle prng peers;
+      peers)
+
+let describe pairs =
+  String.concat ", "
+    (List.map (fun { src; dst } -> Printf.sprintf "%d>%d" src dst) pairs)

@@ -1,0 +1,35 @@
+(** Workload generators (paper §7.1), mirroring Hedera/DevoFlow.
+
+    All generators are driven by an explicit PRNG so runs are
+    reproducible; host indices are contiguous within pods, as in the
+    paper. *)
+
+type pair = { src : int; dst : int }
+
+val stride : hosts:int -> k:int -> pair list
+(** [stride ~hosts ~k]: host [x] sends to [(x + k) mod hosts]. With
+    [k = 8] on 16 hosts every flow crosses the core. *)
+
+val random_bijection : Planck_util.Prng.t -> hosts:int -> pair list
+(** A uniformly random permutation with no fixed points: every host
+    sources exactly one flow and sinks exactly one flow. *)
+
+val random_uniform : Planck_util.Prng.t -> hosts:int -> pair list
+(** Every host picks a destination (≠ itself) uniformly; hotspots can
+    form. *)
+
+val staggered_prob :
+  Planck_util.Prng.t ->
+  shape:Planck_topology.Fat_tree.shape ->
+  p_edge:float ->
+  p_pod:float ->
+  pair list
+(** Hedera's staggered-probability workload: destination within the
+    same edge switch with probability [p_edge], elsewhere in the same
+    pod with [p_pod], otherwise uniformly outside the pod. *)
+
+val shuffle_orders : Planck_util.Prng.t -> hosts:int -> int array array
+(** [orders.(h)] is the random order in which host [h] visits the other
+    hosts during a shuffle. *)
+
+val describe : pair list -> string

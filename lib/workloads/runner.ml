@@ -1,0 +1,125 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Engine = Planck_netsim.Engine
+module Endpoint = Planck_tcp.Endpoint
+module Flow = Planck_tcp.Flow
+
+type flow_result = {
+  src : int;
+  dst : int;
+  size : int;
+  completed : bool;
+  start_time : Time.t;
+  finish_time : Time.t option;
+  goodput : Rate.t option;
+  retransmits : int;
+  timeouts : int;
+}
+
+type shuffle_result = {
+  flows : flow_result list;
+  host_done : Time.t option array;
+}
+
+let result_of_flow ~src ~dst flow =
+  {
+    src;
+    dst;
+    size = Flow.size flow;
+    completed = Flow.completed flow;
+    start_time = Flow.started_at flow;
+    finish_time = Flow.completed_at flow;
+    goodput = Flow.goodput flow;
+    retransmits = Flow.retransmits flow;
+    timeouts = Flow.timeouts flow;
+  }
+
+(* Unique source ports across one runner invocation; destination ports
+   identify the receiving host so concurrent flows never collide. *)
+let port_allocator () =
+  let next = ref 9_999 in
+  fun () ->
+    incr next;
+    !next
+
+let run_engine_until engine ~horizon ~all_done =
+  let chunk = Time.ms 10 in
+  let rec loop () =
+    if (not (all_done ())) && Engine.now engine < horizon then begin
+      Engine.run ~until:(min horizon (Engine.now engine + chunk)) engine;
+      loop ()
+    end
+  in
+  loop ()
+
+let run_pairs engine ~endpoints ~pairs ~size ?params
+    ?(horizon = Time.s 120) () =
+  let fresh_port = port_allocator () in
+  let flows =
+    List.map
+      (fun { Generate.src; dst } ->
+        let flow =
+          Flow.start ~src:endpoints.(src) ~dst:endpoints.(dst)
+            ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params ()
+        in
+        (src, dst, flow))
+      pairs
+  in
+  run_engine_until engine ~horizon ~all_done:(fun () ->
+      List.for_all (fun (_, _, flow) -> Flow.completed flow) flows);
+  List.map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) flows
+
+let run_shuffle engine ~endpoints ~orders ~concurrency ~size ?params
+    ?(horizon = Time.s 120) () =
+  if concurrency <= 0 then invalid_arg "Runner.run_shuffle: bad concurrency";
+  let hosts = Array.length orders in
+  let fresh_port = port_allocator () in
+  let host_done = Array.make hosts None in
+  let flows = ref [] in
+  let remaining = Array.map (fun order -> Array.to_list order) orders in
+  let in_flight = Array.make hosts 0 in
+  let rec start_next h =
+    match remaining.(h) with
+    | dst :: rest ->
+        remaining.(h) <- rest;
+        in_flight.(h) <- in_flight.(h) + 1;
+        let flow =
+          Flow.start ~src:endpoints.(h) ~dst:endpoints.(dst)
+            ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params
+            ~on_complete:(fun flow ->
+              in_flight.(h) <- in_flight.(h) - 1;
+              start_next h;
+              if in_flight.(h) = 0 && remaining.(h) = [] then
+                host_done.(h) <-
+                  Some
+                    (Option.value ~default:(Flow.started_at flow)
+                       (Flow.completed_at flow)))
+            ()
+        in
+        flows := (h, dst, flow) :: !flows
+    | [] -> ()
+  in
+  for h = 0 to hosts - 1 do
+    for _ = 1 to concurrency do
+      start_next h
+    done
+  done;
+  run_engine_until engine ~horizon ~all_done:(fun () ->
+      Array.for_all (fun d -> d <> None) host_done);
+  {
+    flows =
+      List.rev_map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow)
+        !flows;
+    host_done;
+  }
+
+let average_goodput_gbps results =
+  let gbps =
+    List.filter_map
+      (fun r ->
+        match r.goodput with
+        | Some rate when r.completed -> Some (Rate.to_gbps rate)
+        | Some _ | None -> None)
+      results
+  in
+  Planck_util.Stats.mean gbps

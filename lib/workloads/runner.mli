@@ -1,0 +1,49 @@
+(** Launch workloads over TCP endpoints and collect per-flow results. *)
+
+type flow_result = {
+  src : int;
+  dst : int;
+  size : int;
+  completed : bool;
+  start_time : Planck_util.Time.t;
+  finish_time : Planck_util.Time.t option;
+  goodput : Planck_util.Rate.t option;
+  retransmits : int;
+  timeouts : int;
+}
+
+type shuffle_result = {
+  flows : flow_result list;
+  host_done : Planck_util.Time.t option array;
+      (** per host, when its last send finished *)
+}
+
+val run_pairs :
+  Planck_netsim.Engine.t ->
+  endpoints:Planck_tcp.Endpoint.t array ->
+  pairs:Generate.pair list ->
+  size:int ->
+  ?params:Planck_tcp.Flow.params ->
+  ?horizon:Planck_util.Time.t ->
+  unit ->
+  flow_result list
+(** Start one flow per pair at time now; run the engine until all
+    complete or [horizon] (default 120 s) simulated time passes.
+    Incomplete flows are reported with [completed = false]. *)
+
+val run_shuffle :
+  Planck_netsim.Engine.t ->
+  endpoints:Planck_tcp.Endpoint.t array ->
+  orders:int array array ->
+  concurrency:int ->
+  size:int ->
+  ?params:Planck_tcp.Flow.params ->
+  ?horizon:Planck_util.Time.t ->
+  unit ->
+  shuffle_result
+(** Each host sends [size] bytes to every other host in its given
+    order, [concurrency] transfers at a time (the paper uses 2). *)
+
+val average_goodput_gbps : flow_result list -> float
+(** Mean per-flow goodput over completed flows — the paper's Figure 14
+    / 17 metric. *)

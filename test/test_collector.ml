@@ -1,0 +1,291 @@
+(* Collector tests: the burst-clustered rate estimator, the rolling
+   strawman, the flow table, port inference, congestion events, and the
+   vantage-point pcap dump. *)
+
+open Testbed
+module Collector = Planck_collector.Collector
+module Rate_estimator = Planck_collector.Rate_estimator
+module Flow_table = Planck_collector.Flow_table
+module Mac = Planck_packet.Mac
+module Seq32 = Planck_packet.Seq32
+module FK = Planck_packet.Flow_key
+module Ip = Planck_packet.Ipv4_addr
+
+(* ---- Rate estimator ---- *)
+
+let estimator_steady_stream () =
+  (* 1460 B every 1.168 us = 10 Gbps of payload; estimates forced every
+     700 us must converge on that rate. *)
+  let e = Rate_estimator.create () in
+  let last = ref None in
+  for i = 0 to 2_000 do
+    let time = i * 1168 in
+    match Rate_estimator.update e ~time ~seq32:(Seq32.wrap (i * 1460)) with
+    | Some rate -> last := Some rate
+    | None -> ()
+  done;
+  match !last with
+  | None -> Alcotest.fail "no estimate"
+  | Some rate ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%.3f Gbps" (Rate.to_gbps rate))
+        true
+        (abs_float (Rate.to_gbps rate -. 10.0) < 0.1)
+
+let estimator_subsampled_stream () =
+  (* Drop 9 of 10 samples: the sequence-based estimate must not change,
+     because sequence numbers carry the byte count regardless of the
+     sampling rate (the paper's core trick). *)
+  let e = Rate_estimator.create () in
+  let last = ref None in
+  for i = 0 to 2_000 do
+    if i mod 10 = 0 then begin
+      let time = i * 1168 in
+      match Rate_estimator.update e ~time ~seq32:(Seq32.wrap (i * 1460)) with
+      | Some rate -> last := Some rate
+      | None -> ()
+    end
+  done;
+  match !last with
+  | None -> Alcotest.fail "no estimate"
+  | Some rate ->
+      Alcotest.(check bool) "rate unaffected by subsampling" true
+        (abs_float (Rate.to_gbps rate -. 10.0) < 0.1)
+
+let estimator_burst_boundaries () =
+  (* Two line-rate bursts separated by a 250 us gap: the estimate made
+     at the second burst's start spans burst+gap, giving the per-RTT
+     average — not the in-burst line rate. *)
+  let e = Rate_estimator.create () in
+  let estimates = ref [] in
+  let feed ~start_time ~start_seq n =
+    for i = 0 to n - 1 do
+      match
+        Rate_estimator.update e ~time:(start_time + (i * 1168))
+          ~seq32:(Seq32.wrap (start_seq + (i * 1460)))
+      with
+      | Some r -> estimates := r :: !estimates
+      | None -> ()
+    done
+  in
+  feed ~start_time:0 ~start_seq:0 20;
+  (* Gap of 250 us, then the next burst. *)
+  feed ~start_time:(20 * 1168 + Time.us 250) ~start_seq:(20 * 1460) 20;
+  Alcotest.(check int) "one estimate at the burst boundary" 1
+    (List.length !estimates);
+  let rate = List.hd !estimates in
+  (* 20 * 1460 bytes over ~273 us is ~0.85 Gbps. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "per-window average %.2f Gbps" (Rate.to_gbps rate))
+    true
+    (Rate.to_gbps rate < 2.0)
+
+let estimator_ignores_out_of_order () =
+  let e = Rate_estimator.create () in
+  ignore (Rate_estimator.update e ~time:0 ~seq32:10_000);
+  ignore (Rate_estimator.update e ~time:100 ~seq32:5_000);
+  Alcotest.(check int) "ooo counted" 1 (Rate_estimator.out_of_order e);
+  Alcotest.(check int) "samples counted" 2 (Rate_estimator.samples e)
+
+let estimator_wraps () =
+  let e = Rate_estimator.create () in
+  let base = Seq32.modulus - 600_000 in
+  let last = ref None in
+  for i = 0 to 1_000 do
+    match
+      Rate_estimator.update e ~time:(i * 1168)
+        ~seq32:(Seq32.wrap (base + (i * 1460)))
+    with
+    | Some r -> last := Some r
+    | None -> ()
+  done;
+  match !last with
+  | None -> Alcotest.fail "no estimate across wrap"
+  | Some rate ->
+      Alcotest.(check bool) "sane across wrap" true
+        (abs_float (Rate.to_gbps rate -. 10.0) < 0.5)
+
+let estimator_clamps () =
+  let e = Rate_estimator.create ~max_rate:(Rate.gbps 10.0) () in
+  ignore (Rate_estimator.update e ~time:0 ~seq32:0);
+  (* 10 MB "in" 700us would be >100 Gbps; must clamp. *)
+  ignore (Rate_estimator.update e ~time:(Time.us 300) ~seq32:5_000_000);
+  (match Rate_estimator.update e ~time:(Time.us 701) ~seq32:10_000_000 with
+  | Some rate ->
+      Alcotest.(check (float 1.0)) "clamped" 10.0 (Rate.to_gbps rate)
+  | None -> Alcotest.fail "expected estimate")
+
+let estimator_monotone_qcheck =
+  QCheck.Test.make
+    ~name:"estimator never emits negative or absurd rates" ~count:200
+    QCheck.(list (pair (int_range 0 1_000_000) (int_range 0 1_000_000)))
+    (fun points ->
+      let e = Rate_estimator.create () in
+      let sorted =
+        List.sort compare (List.map (fun (t, s) -> (t, s)) points)
+      in
+      List.for_all
+        (fun (time, seq) ->
+          match Rate_estimator.update e ~time ~seq32:(Seq32.wrap seq) with
+          | None -> true
+          | Some rate -> rate >= 0.0)
+        sorted)
+
+let rolling_estimator_jitters () =
+  (* The Fig 10a strawman: with RTT-spaced bursts, a 200 us rolling
+     window sometimes sees zero bytes and sometimes a whole burst. *)
+  let r = Rate_estimator.Rolling.create () in
+  let samples = ref [] in
+  (* Bursts of 100 packets at line rate every 350 us: the window
+     alternately holds a whole burst and almost nothing. *)
+  for burst = 0 to 19 do
+    for i = 0 to 99 do
+      let idx = (burst * 100) + i in
+      match
+        Rate_estimator.Rolling.update r
+          ~time:((burst * Time.us 350) + (i * 1168))
+          ~seq32:(Seq32.wrap (idx * 1460))
+      with
+      | Some rate -> samples := rate :: !samples
+      | None -> ()
+    done
+  done;
+  let gbps = List.map Rate.to_gbps !samples in
+  let spread =
+    List.fold_left max neg_infinity gbps -. List.fold_left min infinity gbps
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "jitter spread %.1f Gbps" spread)
+    true (spread > 3.0)
+
+(* ---- Flow table ---- *)
+
+let flow_table_lifecycle () =
+  let table = Flow_table.create ~timeout:(Time.ms 5) () in
+  let key =
+    {
+      FK.src_ip = Ip.host 0;
+      dst_ip = Ip.host 1;
+      src_port = 1;
+      dst_port = 2;
+      protocol = 6;
+    }
+  in
+  let entry = Flow_table.touch table ~key ~time:0 ~dst_mac:(Mac.host 1) () in
+  entry.Flow_table.out_port <- 3;
+  Alcotest.(check int) "size" 1 (Flow_table.size table);
+  Alcotest.(check int) "active at 4ms" 1
+    (List.length (Flow_table.active table ~now:(Time.ms 4)));
+  Alcotest.(check int) "on port" 1
+    (List.length (Flow_table.active_on_port table ~now:(Time.ms 4) ~out_port:3));
+  Alcotest.(check int) "expired at 6ms" 0
+    (List.length (Flow_table.active table ~now:(Time.ms 6)));
+  Alcotest.(check int) "expiry removed entry" 0 (Flow_table.size table)
+
+(* ---- Collector end-to-end ---- *)
+
+let with_collector ?(hosts = 4) () =
+  let tb = single_switch ~hosts () in
+  let collector =
+    Collector.create tb.engine ~switch:0 ~routing:tb.routing
+      ~link_rate:rate_10g ()
+  in
+  Collector.attach collector;
+  (tb, collector)
+
+let collector_port_inference () =
+  let tb, collector = with_collector () in
+  let flow = start_flow tb ~src:2 ~dst:3 ~size:(4 * 1024 * 1024) () in
+  let inferred = ref [] in
+  Collector.set_tap collector (fun s ->
+      if s.Collector.payload > 0 then
+        inferred := (s.Collector.in_port, s.Collector.out_port) :: !inferred);
+  Engine.run ~until:(Time.ms 10) tb.engine;
+  ignore flow;
+  Alcotest.(check bool) "samples tapped" true (List.length !inferred > 10);
+  List.iter
+    (fun (inp, outp) ->
+      Alcotest.(check (pair int int)) "ports inferred" (2, 3) (inp, outp))
+    !inferred
+
+let collector_link_utilization () =
+  let tb, collector = with_collector () in
+  ignore (start_flow tb ~src:0 ~dst:1 ~size:(20 * 1024 * 1024) ());
+  Engine.run ~until:(Time.ms 15) tb.engine;
+  let util = Collector.link_utilization collector ~port:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f Gbps" (Rate.to_gbps util))
+    true
+    (Rate.to_gbps util > 5.0 && Rate.to_gbps util <= 10.0);
+  Alcotest.(check int) "idle port empty" 0
+    (List.length (Collector.flows_on_port collector ~port:2))
+
+let collector_congestion_event () =
+  let tb, collector = with_collector () in
+  let events = ref [] in
+  Collector.subscribe_congestion collector ~threshold:0.5 (fun e ->
+      events := e :: !events);
+  (* Two flows into one port: utilization approaches 10G > 0.5 * 10G. *)
+  ignore (start_flow tb ~src:0 ~dst:2 ~size:(20 * 1024 * 1024) ());
+  ignore (start_flow tb ~src:1 ~dst:2 ~size:(20 * 1024 * 1024) ());
+  Engine.run ~until:(Time.ms 20) tb.engine;
+  Alcotest.(check bool) "events fired" true (List.length !events > 0);
+  let e = List.hd !events in
+  Alcotest.(check int) "congested port" 2 e.Collector.port;
+  Alcotest.(check int) "two flows annotated" 2 (List.length e.Collector.flows);
+  Alcotest.(check bool) "cooldown bounds event count" true
+    (List.length !events < 25)
+
+let collector_vantage_pcap () =
+  let tb, collector = with_collector () in
+  ignore (start_flow tb ~src:0 ~dst:1 ~size:(1024 * 1024) ());
+  Engine.run ~until:(Time.ms 10) tb.engine;
+  let pcap = Collector.vantage_pcap collector in
+  Alcotest.(check bool) "has samples" true (Collector.vantage_count collector > 100);
+  Alcotest.(check char) "pcap magic" '\xd4' pcap.[0];
+  Alcotest.(check bool) "plausible size" true
+    (String.length pcap > 24 + (Collector.vantage_count collector * 16))
+
+let collector_oversubscription_samples () =
+  (* Saturate 3 flows to distinct ports: 30G of mirror traffic into a
+     10G monitor port. The collector must still see samples of every
+     flow, and mirror drops must be recorded at the switch. *)
+  let tb, collector = with_collector ~hosts:6 () in
+  let flows =
+    List.init 3 (fun i -> start_flow tb ~src:i ~dst:(i + 3) ~size:(8 * 1024 * 1024) ())
+  in
+  Engine.run ~until:(Time.ms 10) tb.engine;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "each flow sampled and estimated" true
+        (Collector.flow_rate collector (Flow.key f) <> None))
+    flows;
+  Alcotest.(check bool) "mirror drops happened" true
+    (Switch.total_mirror_drops (Fabric.switch tb.fabric 0) > 100);
+  Alcotest.(check int) "no parse errors" 0 (Collector.parse_errors collector)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "estimator on steady stream" `Quick
+      estimator_steady_stream;
+    Alcotest.test_case "estimator immune to subsampling" `Quick
+      estimator_subsampled_stream;
+    Alcotest.test_case "estimator burst clustering" `Quick
+      estimator_burst_boundaries;
+    Alcotest.test_case "estimator ignores out-of-order" `Quick
+      estimator_ignores_out_of_order;
+    Alcotest.test_case "estimator across seq wrap" `Quick estimator_wraps;
+    Alcotest.test_case "estimator clamps to link rate" `Quick estimator_clamps;
+    qtest estimator_monotone_qcheck;
+    Alcotest.test_case "rolling estimator jitters (fig 10a)" `Quick
+      rolling_estimator_jitters;
+    Alcotest.test_case "flow table lifecycle" `Quick flow_table_lifecycle;
+    Alcotest.test_case "port inference" `Quick collector_port_inference;
+    Alcotest.test_case "link utilization" `Quick collector_link_utilization;
+    Alcotest.test_case "congestion events" `Quick collector_congestion_event;
+    Alcotest.test_case "vantage pcap dump" `Quick collector_vantage_pcap;
+    Alcotest.test_case "oversubscribed sampling" `Quick
+      collector_oversubscription_samples;
+  ]

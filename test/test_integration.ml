@@ -1,0 +1,141 @@
+(* Cross-layer integration tests over the Planck umbrella API: scheme
+   orderings the paper's evaluation depends on, the poller baseline in
+   action, and end-to-end control-loop latency. *)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+open Planck
+
+let run ~scheme ~spec ?(size = 25 * 1024 * 1024) () =
+  Experiment.run ~spec ~scheme ~workload:(Experiment.Stride 8) ~size
+    ~horizon:(Time.s 20) ()
+
+let planck_te_beats_static () =
+  let static = run ~scheme:Scheme.Static ~spec:(Testbed.paper_fat_tree ()) () in
+  let te =
+    run ~scheme:Scheme.planck_te_default ~spec:(Testbed.paper_fat_tree ()) ()
+  in
+  let optimal = run ~scheme:Scheme.Static ~spec:(Testbed.optimal ()) () in
+  Alcotest.(check bool) "all complete" true
+    (static.Experiment.all_completed && te.Experiment.all_completed
+   && optimal.Experiment.all_completed);
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering: static %.2f < te %.2f <= optimal %.2f"
+       static.Experiment.avg_goodput_gbps te.Experiment.avg_goodput_gbps
+       optimal.Experiment.avg_goodput_gbps)
+    true
+    (static.Experiment.avg_goodput_gbps +. 1.0
+     < te.Experiment.avg_goodput_gbps
+    && te.Experiment.avg_goodput_gbps
+       <= optimal.Experiment.avg_goodput_gbps +. 0.3);
+  Alcotest.(check bool) "te rerouted" true (te.Experiment.reroutes > 0)
+
+let poller_reroutes_long_flows () =
+  (* 100 ms polling cannot help 25 MiB flows (they finish first), but
+     must catch flows that live for many poll periods. *)
+  let short =
+    run ~scheme:Scheme.poll_100ms ~spec:(Testbed.paper_fat_tree ()) ()
+  in
+  Alcotest.(check int) "short flows see no reroutes" 0
+    short.Experiment.reroutes;
+  let long =
+    run ~scheme:Scheme.poll_100ms
+      ~spec:(Testbed.paper_fat_tree ())
+      ~size:(400 * 1024 * 1024) ()
+  in
+  Alcotest.(check bool) "long flows get rerouted" true
+    (long.Experiment.reroutes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "long flows improved: %.2f > 5.5"
+       long.Experiment.avg_goodput_gbps)
+    true
+    (long.Experiment.avg_goodput_gbps > 5.5)
+
+let detection_latency_under_2ms () =
+  (* Fig 15 companion: flow 2 starts into flow 1's link; measure the
+     time from flow 2's first data packet to the congestion event. *)
+  let testbed = Testbed.create (Testbed.paper_fat_tree ()) in
+  let controller =
+    Planck_controller.Controller.create testbed.Testbed.engine
+      ~routing:testbed.Testbed.routing ~link_rate:(Rate.gbps 10.0)
+      ~prng:(Planck_util.Prng.create ~seed:7)
+      ()
+  in
+  let first_event = ref None in
+  List.iter
+    (fun c ->
+      Planck_collector.Collector.subscribe_congestion c ~threshold:0.5
+        (fun e ->
+          if !first_event = None then
+            first_event := Some e.Planck_collector.Collector.time))
+    (Planck_controller.Controller.collectors controller);
+  (* Flow 1 reaches steady state alone, then flow 2 joins. *)
+  ignore
+    (Planck_tcp.Flow.start ~src:testbed.Testbed.endpoints.(0)
+       ~dst:testbed.Testbed.endpoints.(8) ~src_port:1 ~dst_port:2
+       ~size:(100 * 1024 * 1024) ());
+  Planck_netsim.Engine.run ~until:(Time.ms 20) testbed.Testbed.engine;
+  first_event := None;
+  let second_start = Planck_netsim.Engine.now testbed.Testbed.engine in
+  ignore
+    (Planck_tcp.Flow.start ~src:testbed.Testbed.endpoints.(1)
+       ~dst:testbed.Testbed.endpoints.(9) ~src_port:3 ~dst_port:4
+       ~size:(100 * 1024 * 1024) ());
+  Planck_netsim.Engine.run ~until:(Time.ms 40) testbed.Testbed.engine;
+  match !first_event with
+  | None -> Alcotest.fail "no congestion event"
+  | Some t ->
+      let latency = t - second_start in
+      Alcotest.(check bool)
+        (Printf.sprintf "detected in %s" (Time.to_string latency))
+        true
+        (latency < Time.ms 10)
+
+let experiment_repeat_varies_seeds () =
+  let summaries =
+    Experiment.repeat ~runs:2 ~spec:(Testbed.paper_fat_tree ())
+      ~scheme:Scheme.Static ~workload:Experiment.Random_bijection
+      ~size:(4 * 1024 * 1024) ~horizon:(Time.s 5) ()
+  in
+  Alcotest.(check int) "two runs" 2 (List.length summaries);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "completed" true s.Experiment.all_completed)
+    summaries;
+  Alcotest.(check bool) "mean defined" true
+    (Experiment.mean_avg_goodput summaries > 0.0)
+
+let optimal_beats_everything_qcheck =
+  QCheck.Test.make ~name:"optimal >= static on random bijections" ~count:3
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let size = 4 * 1024 * 1024 in
+      let static =
+        Experiment.run
+          ~spec:(Testbed.paper_fat_tree ~seed ())
+          ~scheme:Scheme.Static ~workload:Experiment.Random_bijection ~size
+          ~horizon:(Time.s 5) ()
+      in
+      let optimal =
+        Experiment.run
+          ~spec:(Testbed.optimal ~seed ())
+          ~scheme:Scheme.Static ~workload:Experiment.Random_bijection ~size
+          ~horizon:(Time.s 5) ()
+      in
+      optimal.Experiment.avg_goodput_gbps
+      >= static.Experiment.avg_goodput_gbps -. 0.4)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "PlanckTE beats Static, bounded by Optimal" `Slow
+      planck_te_beats_static;
+    Alcotest.test_case "poller helps only long flows" `Slow
+      poller_reroutes_long_flows;
+    Alcotest.test_case "congestion detected within ms" `Quick
+      detection_latency_under_2ms;
+    Alcotest.test_case "repeat varies seeds" `Quick
+      experiment_repeat_varies_seeds;
+    qtest optimal_beats_everything_qcheck;
+  ]

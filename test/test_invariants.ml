@@ -1,0 +1,107 @@
+(* Cross-cutting invariants: jitter cannot reorder a port's packets,
+   collector state stays bounded, event cooldown is respected. *)
+
+open Testbed
+module Collector = Planck_collector.Collector
+module P = Planck_packet.Packet
+module H = Planck_packet.Headers
+module Mac = Planck_packet.Mac
+module Ip = Planck_packet.Ipv4_addr
+
+let pipeline_jitter_preserves_order () =
+  (* Back-to-back line-rate arrivals on one ingress port must forward
+     in order despite the randomized pipeline latency. *)
+  let e = Engine.create () in
+  let sw =
+    Switch.create e ~name:"jitter" ~ports:2 ~config:Switch.default_config ()
+  in
+  let seen = ref [] in
+  Switch.connect sw ~port:1 ~rate:rate_10g ~prop_delay:0 ~deliver:(fun p ->
+      match P.tcp_headers p with
+      | Some (_, tcp) -> seen := tcp.H.Tcp.seq :: !seen
+      | None -> ());
+  Switch.connect sw ~port:0 ~rate:rate_10g ~prop_delay:0
+    ~deliver:(fun _ -> ());
+  Switch.add_route sw (Mac.host 1) 1;
+  (* Arrivals at exactly the 1514-byte line-rate spacing. *)
+  for i = 0 to 499 do
+    Engine.schedule e ~delay:(i * 1212) (fun () ->
+        Switch.ingress sw ~port:0
+          (P.tcp ~src_mac:(Mac.host 0) ~dst_mac:(Mac.host 1)
+             ~src_ip:(Ip.host 0) ~dst_ip:(Ip.host 1) ~src_port:1 ~dst_port:2
+             ~seq:(i * 1460) ~ack_seq:0 ~flags:H.Tcp_flags.ack
+             ~payload_len:1460 ()))
+  done;
+  Engine.run e;
+  let order = List.rev !seen in
+  Alcotest.(check int) "all forwarded" 500 (List.length order);
+  Alcotest.(check bool) "strictly increasing" true
+    (List.for_all2 ( = ) order (List.sort compare order))
+
+let vantage_ring_bounded () =
+  let tb = single_switch ~hosts:4 () in
+  let config =
+    { Collector.default_config with Collector.vantage_capacity = 64 }
+  in
+  let collector =
+    Collector.create tb.engine ~switch:0 ~routing:tb.routing
+      ~link_rate:rate_10g ~config ()
+  in
+  Collector.attach collector;
+  ignore (start_flow tb ~src:0 ~dst:1 ~size:(4 * 1024 * 1024) ());
+  Engine.run ~until:(Time.ms 10) tb.engine;
+  Alcotest.(check int) "ring holds exactly its capacity" 64
+    (Collector.vantage_count collector);
+  Alcotest.(check bool) "saw far more samples than retained" true
+    (Collector.samples_seen collector > 1000)
+
+let event_cooldown_respected () =
+  let tb = single_switch ~hosts:4 () in
+  let config =
+    { Collector.default_config with Collector.event_cooldown = Time.ms 2 }
+  in
+  let collector =
+    Collector.create tb.engine ~switch:0 ~routing:tb.routing
+      ~link_rate:rate_10g ~config ()
+  in
+  Collector.attach collector;
+  let stamps = ref [] in
+  Collector.subscribe_congestion collector ~threshold:0.3 (fun e ->
+      stamps := e.Collector.time :: !stamps);
+  ignore (start_flow tb ~src:0 ~dst:2 ~size:(30 * 1024 * 1024) ());
+  ignore (start_flow tb ~src:1 ~dst:2 ~size:(30 * 1024 * 1024) ());
+  Engine.run ~until:(Time.ms 25) tb.engine;
+  let sorted = List.sort compare !stamps in
+  let rec gaps_ok = function
+    | a :: (b :: _ as rest) -> b - a >= Time.ms 2 && gaps_ok rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "several events" true (List.length sorted >= 3);
+  Alcotest.(check bool) "spaced by cooldown" true (gaps_ok sorted)
+
+let utilization_decays_after_flows_end () =
+  let tb = single_switch ~hosts:4 () in
+  let collector =
+    Collector.create tb.engine ~switch:0 ~routing:tb.routing
+      ~link_rate:rate_10g ()
+  in
+  Collector.attach collector;
+  let flow = start_flow tb ~src:0 ~dst:1 ~size:(4 * 1024 * 1024) () in
+  Engine.run ~until:(Time.ms 6) tb.engine;
+  Alcotest.(check bool) "busy while running" true
+    (Rate.to_gbps (Collector.link_utilization collector ~port:1) > 3.0);
+  Engine.run ~until:(Time.ms 40) tb.engine;
+  Alcotest.(check bool) "flow finished" true (Flow.completed flow);
+  Alcotest.(check (float 0.01)) "idle after timeout" 0.0
+    (Rate.to_gbps (Collector.link_utilization collector ~port:1))
+
+let tests =
+  [
+    Alcotest.test_case "jitter preserves per-port order" `Quick
+      pipeline_jitter_preserves_order;
+    Alcotest.test_case "vantage ring bounded" `Quick vantage_ring_bounded;
+    Alcotest.test_case "event cooldown respected" `Quick
+      event_cooldown_respected;
+    Alcotest.test_case "utilization decays after flows end" `Quick
+      utilization_decays_after_flows_end;
+  ]

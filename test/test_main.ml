@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "planck"
+    [
+      ("util", Test_util.tests);
+      ("packet", Test_packet.tests);
+      ("netsim", Test_netsim.tests);
+      ("tcp", Test_tcp.tests);
+      ("tcp-internals", Test_tcp_internals.tests);
+      ("topology", Test_topology.tests);
+      ("collector", Test_collector.tests);
+      ("controller", Test_controller.tests);
+      ("sflow", Test_sflow.tests);
+      ("openflow", Test_openflow.tests);
+      ("workloads", Test_workloads.tests);
+      ("integration", Test_integration.tests);
+      ("extensions", Test_extensions.tests);
+      ("baselines", Test_baselines.tests);
+      ("core", Test_core.tests);
+      ("invariants", Test_invariants.tests);
+      ("placement", Test_placement.tests);
+      ("smoke", Test_smoke.tests);
+    ]

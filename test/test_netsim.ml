@@ -1,0 +1,491 @@
+(* Tests for the discrete-event substrate: engine, shared buffer pool,
+   transmitters, switch forwarding/mirroring, host ARP semantics, and
+   the netmap-style sink. *)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Buffer_pool = Planck_netsim.Buffer_pool
+module Txport = Planck_netsim.Txport
+module Switch = Planck_netsim.Switch
+module Host = Planck_netsim.Host
+module Sink = Planck_netsim.Sink
+module P = Planck_packet.Packet
+module H = Planck_packet.Headers
+module Mac = Planck_packet.Mac
+module Ip = Planck_packet.Ipv4_addr
+module FK = Planck_packet.Flow_key
+
+let mk_tcp ?(src = 0) ?(dst = 1) ?(seq = 0) ?(payload = 1460) () =
+  P.tcp ~src_mac:(Mac.host src) ~dst_mac:(Mac.host dst) ~src_ip:(Ip.host src)
+    ~dst_ip:(Ip.host dst) ~src_port:(1000 + src) ~dst_port:(2000 + dst) ~seq
+    ~ack_seq:0 ~flags:H.Tcp_flags.ack ~payload_len:payload ()
+
+(* ---- Engine ---- *)
+
+let engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:(Time.us 30) (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:(Time.us 10) (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:(Time.us 20) (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" (Time.us 30) (Engine.now e);
+  Alcotest.(check int) "count" 3 (Engine.events_processed e)
+
+let engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun i -> Engine.schedule e ~delay:(Time.us 5) (fun () -> log := i :: !log))
+    [ 1; 2; 3 ];
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO at equal time" [ 1; 2; 3 ] (List.rev !log)
+
+let engine_until () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:(Time.ms 10) (fun () -> fired := true);
+  Engine.run ~until:(Time.ms 5) e;
+  Alcotest.(check bool) "not yet" false !fired;
+  Alcotest.(check int) "clock advanced to horizon" (Time.ms 5) (Engine.now e);
+  Engine.run ~until:(Time.ms 20) e;
+  Alcotest.(check bool) "fired" true !fired
+
+let engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule e ~delay:1 (fun () ->
+      incr hits;
+      Engine.schedule e ~delay:1 (fun () -> incr hits));
+  Engine.run e;
+  Alcotest.(check int) "nested event ran" 2 !hits
+
+let engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:(Time.us 10) (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "x") (fun () ->
+          try Engine.schedule_at e ~time:(Time.us 5) (fun () -> ())
+          with Invalid_argument _ -> raise (Invalid_argument "x")));
+  Engine.run e
+
+let engine_every () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.every e ~period:(Time.us 10) ~until:(Time.us 45) (fun () -> incr hits);
+  Engine.run e;
+  Alcotest.(check int) "4 ticks within horizon" 4 !hits
+
+(* ---- Buffer pool ---- *)
+
+let pool_reservation () =
+  let p = Buffer_pool.create ~total:1000 ~reservation:100 ~alpha:1.0 ~ports:4 in
+  (* Static region is per-port guaranteed even under full shared use. *)
+  Alcotest.(check bool) "alloc within reservation" true
+    (Buffer_pool.try_alloc p ~port:0 ~bytes_:100);
+  Alcotest.(check int) "shared untouched" 0 (Buffer_pool.shared_used p);
+  Alcotest.(check bool) "beyond reservation draws shared" true
+    (Buffer_pool.try_alloc p ~port:0 ~bytes_:100);
+  Alcotest.(check int) "shared used" 100 (Buffer_pool.shared_used p)
+
+let pool_dt_limits_single_port () =
+  (* With alpha = 1, one queue can take at most half the shared region:
+     q <= alpha * (S - q). *)
+  let p = Buffer_pool.create ~total:1000 ~reservation:0 ~alpha:1.0 ~ports:4 in
+  let admitted = ref 0 in
+  for _ = 1 to 100 do
+    if Buffer_pool.try_alloc p ~port:0 ~bytes_:10 then
+      admitted := !admitted + 10
+  done;
+  Alcotest.(check int) "single queue capped at half" 500 !admitted;
+  (* A second port still gets space. *)
+  Alcotest.(check bool) "other port admitted" true
+    (Buffer_pool.try_alloc p ~port:1 ~bytes_:10)
+
+let pool_release () =
+  let p = Buffer_pool.create ~total:1000 ~reservation:0 ~alpha:1.0 ~ports:2 in
+  Alcotest.(check bool) "alloc" true (Buffer_pool.try_alloc p ~port:0 ~bytes_:400);
+  Buffer_pool.release p ~port:0 ~bytes_:400;
+  Alcotest.(check int) "all returned" 0 (Buffer_pool.total_used p);
+  Alcotest.check_raises "over-release" (Invalid_argument "x") (fun () ->
+      try Buffer_pool.release p ~port:0 ~bytes_:1
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let pool_port_cap () =
+  let p = Buffer_pool.create ~total:1000 ~reservation:0 ~alpha:1.0 ~ports:2 in
+  Buffer_pool.set_port_cap p ~port:0 (Some 50);
+  Alcotest.(check bool) "under cap" true
+    (Buffer_pool.try_alloc p ~port:0 ~bytes_:50);
+  Alcotest.(check bool) "over cap rejected" false
+    (Buffer_pool.try_alloc p ~port:0 ~bytes_:1)
+
+let pool_conservation_qcheck =
+  QCheck.Test.make ~name:"buffer pool conserves bytes under random ops"
+    ~count:100
+    QCheck.(list (pair (int_range 0 3) (int_range 1 200)))
+    (fun ops ->
+      let p =
+        Buffer_pool.create ~total:2000 ~reservation:50 ~alpha:0.8 ~ports:4
+      in
+      let held = Array.make 4 0 in
+      List.iter
+        (fun (port, n) ->
+          if n mod 3 = 0 && held.(port) > 0 then begin
+            let release = min held.(port) n in
+            Buffer_pool.release p ~port ~bytes_:release;
+            held.(port) <- held.(port) - release
+          end
+          else if Buffer_pool.try_alloc p ~port ~bytes_:n then
+            held.(port) <- held.(port) + n)
+        ops;
+      Buffer_pool.total_used p = Array.fold_left ( + ) 0 held
+      && Buffer_pool.total_used p <= Buffer_pool.capacity p
+      && Array.for_all
+           (fun port -> Buffer_pool.port_used p ~port = held.(port))
+           [| 0; 1; 2; 3 |])
+
+(* ---- Txport ---- *)
+
+let txport_serialization_timing () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let tx =
+    Txport.create e ~rate:(Rate.gbps 10.0) ~prop_delay:(Time.ns 300)
+      ~classes:1
+      ~deliver:(fun p -> arrivals := (Engine.now e, p.P.id) :: !arrivals)
+      ~on_depart:(fun _ -> ())
+      ()
+  in
+  let p1 = mk_tcp () and p2 = mk_tcp () in
+  Txport.enqueue tx ~cls:0 p1;
+  Txport.enqueue tx ~cls:0 p2;
+  Engine.run e;
+  (* 1514 B at 10 Gbps = 1211.2 ns -> 1212 ns, + 300 ns propagation. *)
+  let arrivals = List.rev !arrivals in
+  Alcotest.(check int) "first arrival" 1512 (fst (List.nth arrivals 0));
+  Alcotest.(check int) "second arrival" (1512 + 1212)
+    (fst (List.nth arrivals 1));
+  Alcotest.(check int) "order" p1.P.id (snd (List.nth arrivals 0))
+
+let txport_round_robin () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let tx =
+    Txport.create e ~rate:(Rate.gbps 10.0) ~prop_delay:0 ~classes:3
+      ~deliver:(fun p -> order := p.P.id :: !order)
+      ~on_depart:(fun _ -> ())
+      ()
+  in
+  (* Fill class 0 with 3 frames, classes 1 and 2 with 1 each, before
+     the serializer runs: schedule enqueues at t=0 inside the engine. *)
+  let a1 = mk_tcp () and a2 = mk_tcp () and a3 = mk_tcp () in
+  let b = mk_tcp () and c = mk_tcp () in
+  Engine.schedule e ~delay:0 (fun () ->
+      Txport.enqueue tx ~cls:0 a1;
+      Txport.enqueue tx ~cls:0 a2;
+      Txport.enqueue tx ~cls:0 a3;
+      Txport.enqueue tx ~cls:1 b;
+      Txport.enqueue tx ~cls:2 c);
+  Engine.run e;
+  (* a1 starts immediately; then round-robin picks 1, 2, 0, 0. *)
+  Alcotest.(check (list int)) "round robin interleave"
+    [ a1.P.id; b.P.id; c.P.id; a2.P.id; a3.P.id ]
+    (List.rev !order)
+
+(* ---- Switch ---- *)
+
+let switch_pair engine =
+  let config = Switch.default_config in
+  let sw = Switch.create engine ~name:"s0" ~ports:4 ~config () in
+  let received = Array.make 4 [] in
+  for port = 0 to 3 do
+    Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:(Time.ns 300)
+      ~deliver:(fun p -> received.(port) <- p :: received.(port))
+  done;
+  (sw, received)
+
+let switch_forwards () =
+  let e = Engine.create () in
+  let sw, received = switch_pair e in
+  Switch.add_route sw (Mac.host 1) 1;
+  Switch.ingress sw ~port:0 (mk_tcp ());
+  Engine.run e;
+  Alcotest.(check int) "delivered on port 1" 1 (List.length received.(1));
+  Alcotest.(check int) "nothing elsewhere" 0 (List.length received.(2));
+  let stats = Switch.port_stats sw ~port:1 in
+  Alcotest.(check int) "tx counted" 1 stats.Switch.tx_packets;
+  Alcotest.(check int) "tx bytes" 1514 stats.Switch.tx_bytes
+
+let switch_unroutable () =
+  let e = Engine.create () in
+  let sw, _ = switch_pair e in
+  Switch.ingress sw ~port:0 (mk_tcp ());
+  Engine.run e;
+  Alcotest.(check int) "unroutable counted" 1 (Switch.unroutable_drops sw)
+
+let switch_egress_rewrite () =
+  let e = Engine.create () in
+  let sw, received = switch_pair e in
+  let shadow = Mac.shadow (Mac.host 1) ~alt:2 in
+  Switch.add_route sw shadow 1;
+  Switch.add_rewrite sw ~from_mac:shadow ~to_mac:(Mac.host 1);
+  Switch.ingress sw ~port:0 (mk_tcp ~dst:1 () |> fun p -> P.with_dst_mac p shadow);
+  Engine.run e;
+  match received.(1) with
+  | [ p ] ->
+      Alcotest.(check bool) "rewritten to base" true
+        (Mac.equal (P.dst_mac p) (Mac.host 1))
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let switch_flow_rewrite () =
+  let e = Engine.create () in
+  let sw, received = switch_pair e in
+  let p = mk_tcp ~dst:1 () in
+  let key = Option.get (FK.of_packet p) in
+  let shadow = Mac.shadow (Mac.host 1) ~alt:1 in
+  Switch.add_route sw (Mac.host 1) 1;
+  Switch.add_route sw shadow 2;
+  Switch.add_flow_rewrite sw ~key ~to_mac:shadow;
+  Switch.ingress sw ~port:0 p;
+  (* A different flow is unaffected. *)
+  Switch.ingress sw ~port:0 (mk_tcp ~dst:1 ~src:3 ());
+  Engine.run e;
+  Alcotest.(check int) "rewritten flow took shadow route" 1
+    (List.length received.(2));
+  Alcotest.(check int) "other flow on base route" 1
+    (List.length received.(1));
+  Switch.remove_flow_rewrite sw ~key;
+  Alcotest.(check int) "rule removed" 0 (Switch.flow_rewrite_count sw)
+
+let switch_mirroring () =
+  let e = Engine.create () in
+  let sw, received = switch_pair e in
+  Switch.add_route sw (Mac.host 1) 1;
+  Switch.set_mirror sw ~monitor:3 ~mirrored:[ 0; 1; 2 ];
+  Switch.ingress sw ~port:0 (mk_tcp ());
+  Engine.run e;
+  Alcotest.(check int) "original delivered" 1 (List.length received.(1));
+  Alcotest.(check int) "mirror copy delivered" 1 (List.length received.(3));
+  Alcotest.(check (option int)) "monitor port" (Some 3)
+    (Switch.monitor_port sw);
+  Switch.clear_mirror sw;
+  Switch.ingress sw ~port:0 (mk_tcp ());
+  Engine.run e;
+  Alcotest.(check int) "no copy after clear" 1 (List.length received.(3))
+
+let switch_mirror_self_rejected () =
+  let e = Engine.create () in
+  let sw, _ = switch_pair e in
+  Alcotest.check_raises "monitor mirrored" (Invalid_argument "x") (fun () ->
+      try Switch.set_mirror sw ~monitor:3 ~mirrored:[ 3 ]
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let switch_drops_when_buffer_full () =
+  let e = Engine.create () in
+  let config =
+    {
+      Switch.default_config with
+      Switch.buffer_total = 20_000;
+      buffer_reservation = 0;
+    }
+  in
+  let sw = Switch.create e ~name:"small" ~ports:2 ~config () in
+  for port = 0 to 1 do
+    Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:0
+      ~deliver:(fun _ -> ())
+  done;
+  Switch.add_route sw (Mac.host 1) 1;
+  (* Slam 100 MTU frames in at one instant: the egress drains one per
+     1.2 us, so admission control must reject most of them. *)
+  Engine.schedule e ~delay:0 (fun () ->
+      for i = 0 to 99 do
+        Switch.ingress sw ~port:0 (mk_tcp ~seq:(i * 1460) ())
+      done);
+  Engine.run e;
+  Alcotest.(check bool) "data drops recorded" true
+    (Switch.total_data_drops sw > 50)
+
+let switch_inject () =
+  let e = Engine.create () in
+  let sw, received = switch_pair e in
+  Switch.inject sw ~port:2 (mk_tcp ());
+  Engine.run e;
+  Alcotest.(check int) "packet-out delivered" 1 (List.length received.(2))
+
+(* ---- Host ---- *)
+
+let host_pair () =
+  let e = Engine.create () in
+  let prng = Prng.create ~seed:5 in
+  let a = Host.create e ~id:0 ~prng:(Prng.split prng) () in
+  let b = Host.create e ~id:1 ~prng:(Prng.split prng) () in
+  Host.connect a ~rate:(Rate.gbps 10.0) ~prop_delay:(Time.ns 300)
+    ~deliver:(fun p -> Host.ingress b p);
+  Host.connect b ~rate:(Rate.gbps 10.0) ~prop_delay:(Time.ns 300)
+    ~deliver:(fun p -> Host.ingress a p);
+  (e, a, b)
+
+let host_mac_filter () =
+  let e, a, b = host_pair () in
+  let got = ref 0 in
+  Host.set_receive b (fun _ -> incr got);
+  (* Frame addressed to b's MAC: accepted. *)
+  Host.send a (mk_tcp ~src:0 ~dst:1 ());
+  (* Frame addressed to a shadow MAC that was never rewritten: dropped. *)
+  let p = P.with_dst_mac (mk_tcp ~src:0 ~dst:1 ()) (Mac.shadow (Mac.host 1) ~alt:1) in
+  Host.send a p;
+  Engine.run e;
+  Alcotest.(check int) "one accepted" 1 !got;
+  Alcotest.(check int) "one filtered" 1 (Host.filtered_frames b)
+
+let host_stack_is_fifo () =
+  let e, a, b = host_pair () in
+  let order = ref [] in
+  Host.set_receive b (fun p ->
+      match P.tcp_headers p with
+      | Some (_, tcp) -> order := tcp.H.Tcp.seq :: !order
+      | None -> ());
+  for i = 0 to 19 do
+    Host.send a (mk_tcp ~seq:(i * 1460) ())
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "in-order delivery"
+    (List.init 20 (fun i -> i * 1460))
+    (List.rev !order)
+
+let host_arp_unicast_request_learns () =
+  let e, a, _b = host_pair () in
+  (* A spoofed unicast request claiming 10.0.0.9 is at a shadow MAC. *)
+  let shadow = Mac.shadow (Mac.host 9) ~alt:2 in
+  let request =
+    P.arp ~src_mac:shadow ~dst_mac:(Host.mac a)
+      {
+        H.Arp.op = H.Arp.Request;
+        sender_mac = shadow;
+        sender_ip = Ip.host 9;
+        target_mac = Host.mac a;
+        target_ip = Host.ip a;
+      }
+  in
+  Host.ingress a request;
+  Engine.run e;
+  Alcotest.(check bool) "cache updated" true
+    (Host.arp_lookup a (Ip.host 9) = Some shadow)
+
+let host_arp_ignores_unsolicited_reply () =
+  let e, a, _b = host_pair () in
+  Host.arp_set a (Ip.host 9) (Mac.host 9);
+  let reply =
+    P.arp ~src_mac:(Mac.host 3) ~dst_mac:(Host.mac a)
+      {
+        H.Arp.op = H.Arp.Reply;
+        sender_mac = Mac.shadow (Mac.host 9) ~alt:1;
+        sender_ip = Ip.host 9;
+        target_mac = Host.mac a;
+        target_ip = Host.ip a;
+      }
+  in
+  Host.ingress a reply;
+  Engine.run e;
+  Alcotest.(check bool) "cache unchanged" true
+    (Host.arp_lookup a (Ip.host 9) = Some (Mac.host 9))
+
+let host_arp_locktime () =
+  let e = Engine.create () in
+  let stack = { Host.default_stack with Host.arp_locktime = Time.s 1 } in
+  let a = Host.create e ~id:0 ~stack ~prng:(Prng.create ~seed:1) () in
+  let request mac =
+    P.arp ~src_mac:mac ~dst_mac:(Host.mac a)
+      {
+        H.Arp.op = H.Arp.Request;
+        sender_mac = mac;
+        sender_ip = Ip.host 9;
+        target_mac = Host.mac a;
+        target_ip = Host.ip a;
+      }
+  in
+  Host.ingress a (request (Mac.host 9));
+  Engine.run e;
+  (* A second update inside the locktime is refused. *)
+  Host.ingress a (request (Mac.shadow (Mac.host 9) ~alt:1));
+  Engine.run e;
+  Alcotest.(check bool) "locktime blocks update" true
+    (Host.arp_lookup a (Ip.host 9) = Some (Mac.host 9))
+
+(* ---- Sink ---- *)
+
+let sink_batches () =
+  let e = Engine.create () in
+  let got = ref [] in
+  let sink =
+    Sink.create e ~ring_capacity:16 ~poll_interval:(Time.us 25)
+      ~consumer:(fun r -> got := r :: !got)
+      ()
+  in
+  Engine.schedule e ~delay:(Time.us 10) (fun () ->
+      Sink.ingress sink (mk_tcp ());
+      Sink.ingress sink (mk_tcp ~seq:1460 ()));
+  Engine.run e;
+  Alcotest.(check int) "both consumed" 2 (List.length !got);
+  let r = List.hd !got in
+  Alcotest.(check int) "rx at poll boundary" (Time.us 35) r.Sink.rx;
+  Alcotest.(check int) "arrival preserved" (Time.us 10) r.Sink.arrival;
+  Alcotest.(check int) "frames seen" 2 (Sink.frames_seen sink)
+
+let sink_ring_overflow () =
+  let e = Engine.create () in
+  let sink =
+    Sink.create e ~ring_capacity:4 ~poll_interval:(Time.ms 1)
+      ~consumer:(fun _ -> ())
+      ()
+  in
+  Engine.schedule e ~delay:0 (fun () ->
+      for i = 0 to 9 do
+        Sink.ingress sink (mk_tcp ~seq:(i * 1460) ())
+      done);
+  Engine.run e;
+  Alcotest.(check int) "ring drops counted" 6 (Sink.ring_drops sink)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "engine time ordering" `Quick engine_ordering;
+    Alcotest.test_case "engine FIFO at equal times" `Quick
+      engine_same_time_fifo;
+    Alcotest.test_case "engine run until horizon" `Quick engine_until;
+    Alcotest.test_case "engine nested scheduling" `Quick
+      engine_nested_schedule;
+    Alcotest.test_case "engine rejects past events" `Quick engine_rejects_past;
+    Alcotest.test_case "engine periodic events" `Quick engine_every;
+    Alcotest.test_case "pool static reservation" `Quick pool_reservation;
+    Alcotest.test_case "pool DT caps one queue" `Quick
+      pool_dt_limits_single_port;
+    Alcotest.test_case "pool release" `Quick pool_release;
+    Alcotest.test_case "pool per-port cap (minbuffer)" `Quick pool_port_cap;
+    qtest pool_conservation_qcheck;
+    Alcotest.test_case "txport serialization timing" `Quick
+      txport_serialization_timing;
+    Alcotest.test_case "txport round robin" `Quick txport_round_robin;
+    Alcotest.test_case "switch forwards on MAC" `Quick switch_forwards;
+    Alcotest.test_case "switch counts unroutable" `Quick switch_unroutable;
+    Alcotest.test_case "switch egress rewrite" `Quick switch_egress_rewrite;
+    Alcotest.test_case "switch per-flow rewrite" `Quick switch_flow_rewrite;
+    Alcotest.test_case "switch mirroring" `Quick switch_mirroring;
+    Alcotest.test_case "switch rejects self-mirror" `Quick
+      switch_mirror_self_rejected;
+    Alcotest.test_case "switch drops when buffer full" `Quick
+      switch_drops_when_buffer_full;
+    Alcotest.test_case "switch packet-out injection" `Quick switch_inject;
+    Alcotest.test_case "host MAC filtering" `Quick host_mac_filter;
+    Alcotest.test_case "host stack is FIFO" `Quick host_stack_is_fifo;
+    Alcotest.test_case "host learns from unicast ARP request" `Quick
+      host_arp_unicast_request_learns;
+    Alcotest.test_case "host ignores unsolicited ARP reply" `Quick
+      host_arp_ignores_unsolicited_reply;
+    Alcotest.test_case "host ARP locktime" `Quick host_arp_locktime;
+    Alcotest.test_case "sink poll batching" `Quick sink_batches;
+    Alcotest.test_case "sink ring overflow" `Quick sink_ring_overflow;
+  ]

@@ -1,0 +1,246 @@
+(* Topology and routing tests: fat-tree wiring, spanning-tree validity,
+   shadow-MAC provisioning, path computation, Jellyfish construction. *)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+module Fabric = Planck_topology.Fabric
+module Fat_tree = Planck_topology.Fat_tree
+module Single_switch = Planck_topology.Single_switch
+module Jellyfish = Planck_topology.Jellyfish
+module Routing = Planck_topology.Routing
+module Mac = Planck_packet.Mac
+
+let build_ft k =
+  let engine = Engine.create () in
+  Fat_tree.build engine ~k ~switch_config:Switch.default_config
+    ~link_rate:(Rate.gbps 10.0) ~prng:(Prng.create ~seed:1) ()
+
+let shape_counts () =
+  let s = Fat_tree.shape ~k:4 in
+  Alcotest.(check int) "switches" 20 s.Fat_tree.num_switches;
+  Alcotest.(check int) "hosts" 16 s.Fat_tree.num_hosts;
+  Alcotest.(check int) "cores" 4 s.Fat_tree.cores;
+  let s6 = Fat_tree.shape ~k:6 in
+  Alcotest.(check int) "k=6 switches" 45 s6.Fat_tree.num_switches;
+  Alcotest.(check int) "k=6 hosts" 54 s6.Fat_tree.num_hosts
+
+let shape_rejects_odd () =
+  Alcotest.check_raises "odd k" (Invalid_argument "x") (fun () ->
+      try ignore (Fat_tree.shape ~k:3)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let wiring_complete () =
+  let fabric, s = build_ft 4 in
+  (* Every switch: k data ports wired + 1 monitor reserved. *)
+  for sw = 0 to s.Fat_tree.num_switches - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "switch %d data ports" sw)
+      4
+      (List.length (Fabric.data_ports fabric ~switch:sw));
+    Alcotest.(check (option int))
+      (Printf.sprintf "switch %d monitor" sw)
+      (Some 4)
+      (Fabric.monitor_port fabric ~switch:sw)
+  done;
+  (* Adjacency is symmetric. *)
+  for sw = 0 to s.Fat_tree.num_switches - 1 do
+    List.iter
+      (fun port ->
+        match Fabric.peer fabric ~switch:sw ~port with
+        | Fabric.To_switch (peer, peer_port) -> (
+            match Fabric.peer fabric ~switch:peer ~port:peer_port with
+            | Fabric.To_switch (back, back_port) ->
+                Alcotest.(check (pair int int))
+                  "symmetric" (sw, port) (back, back_port)
+            | _ -> Alcotest.fail "asymmetric adjacency")
+        | Fabric.To_host h ->
+            let attach_sw, attach_port = Fabric.host_attachment fabric ~host:h in
+            Alcotest.(check (pair int int))
+              "host attach" (sw, port) (attach_sw, attach_port)
+        | Fabric.To_monitor | Fabric.Unwired -> ())
+      (Fabric.data_ports fabric ~switch:sw)
+  done
+
+let hosts_contiguous_in_pods () =
+  let s = Fat_tree.shape ~k:4 in
+  Alcotest.(check int) "first of pod 2" 2 (Fat_tree.pod_of_host s 8);
+  Alcotest.(check int) "host layout" 10
+    (Fat_tree.host_of s ~pod:2 ~edge:1 ~slot:0)
+
+let routing_for fabric s =
+  let routing =
+    Routing.create fabric ~alts:(Fat_tree.max_alts s) ~tree_fn:(fun ~dst ~alt ->
+        Fat_tree.tree_out_ports s ~dst ~core:(Fat_tree.core_for s ~dst ~alt))
+  in
+  Routing.install routing;
+  routing
+
+let paths_valid_all_pairs () =
+  let fabric, s = build_ft 4 in
+  let routing = routing_for fabric s in
+  (* Every (src, dst, alt) path must terminate at the destination and
+     never exceed 5 switch hops (edge-agg-core-agg-edge). *)
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      if src <> dst then
+        for alt = 0 to 3 do
+          let mac = Routing.mac_for routing ~dst ~alt in
+          let hops = Routing.path routing ~src ~dst_mac:mac in
+          Alcotest.(check bool)
+            (Printf.sprintf "%d->%d alt %d length" src dst alt)
+            true
+            (List.length hops >= 1 && List.length hops <= 5)
+        done
+    done
+  done
+
+let cross_pod_uses_expected_core () =
+  let fabric, s = build_ft 4 in
+  let routing = routing_for fabric s in
+  let mac = Routing.mac_for routing ~dst:12 ~alt:0 in
+  let hops = Routing.path routing ~src:0 ~dst_mac:mac in
+  Alcotest.(check int) "5 hops across core" 5 (List.length hops);
+  let middle = List.nth hops 2 in
+  Alcotest.(check int) "core id is (12+0) mod 4"
+    (Fat_tree.core_id s (Fat_tree.core_for s ~dst:12 ~alt:0))
+    middle.Routing.switch
+
+let same_edge_path_is_one_hop () =
+  let fabric, s = build_ft 4 in
+  let routing = routing_for fabric s in
+  let mac = Routing.mac_for routing ~dst:1 ~alt:0 in
+  Alcotest.(check int) "1 hop" 1
+    (List.length (Routing.path routing ~src:0 ~dst_mac:mac))
+
+let alternates_are_core_disjoint () =
+  let fabric, s = build_ft 4 in
+  let routing = routing_for fabric s in
+  (* For a cross-pod pair, the four alternates traverse four distinct
+     cores — the "each core defines a unique spanning tree" property. *)
+  let cores =
+    List.map
+      (fun alt ->
+        let mac = Routing.mac_for routing ~dst:12 ~alt in
+        let hops = Routing.path routing ~src:0 ~dst_mac:mac in
+        (List.nth hops 2).Routing.switch)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "4 distinct cores" 4
+    (List.length (List.sort_uniq compare cores))
+
+let shadow_rewrites_installed () =
+  let fabric, s = build_ft 4 in
+  let routing = routing_for fabric s in
+  ignore routing;
+  (* The destination edge switch of host 12 must rewrite all 3 shadow
+     MACs back to the base. *)
+  let edge, _ = Fabric.host_attachment fabric ~host:12 in
+  let sw = Fabric.switch fabric edge in
+  (* Routes for base + 3 shadows of each of hosts 12,13 end at this
+     switch; spot-check the route table knows the shadow MACs. *)
+  List.iter
+    (fun alt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "route for alt %d present" alt)
+        true
+        (Switch.route sw (Mac.shadow (Mac.host 12) ~alt) <> None))
+    [ 0; 1; 2; 3 ]
+
+let tree_validity_qcheck =
+  QCheck.Test.make ~name:"fat-tree trees reach their destination (k=4,6)"
+    ~count:60
+    QCheck.(pair (int_range 0 1) (pair (int_range 0 53) (int_range 0 8)))
+    (fun (ki, (dst, alt)) ->
+      let k = if ki = 0 then 4 else 6 in
+      let s = Fat_tree.shape ~k in
+      let dst = dst mod s.Fat_tree.num_hosts in
+      let alt = alt mod s.Fat_tree.cores in
+      let core = Fat_tree.core_for s ~dst ~alt in
+      let out = Fat_tree.tree_out_ports s ~dst ~core in
+      (* Walk from every edge switch and check arrival at dst's edge. *)
+      Array.length out = s.Fat_tree.num_switches
+      && out.(Fat_tree.core_id s core) >= 0)
+
+let single_switch_routes () =
+  let engine = Engine.create () in
+  let fabric =
+    Single_switch.build engine ~hosts:8 ~switch_config:Switch.default_config
+      ~link_rate:(Rate.gbps 10.0) ~prng:(Prng.create ~seed:1) ()
+  in
+  let routing =
+    Routing.create fabric ~alts:1 ~tree_fn:(fun ~dst ~alt:_ ->
+        Single_switch.tree_out_ports ~hosts:8 ~dst)
+  in
+  Routing.install routing;
+  let hops = Routing.path routing ~src:0 ~dst_mac:(Mac.host 7) in
+  Alcotest.(check int) "one hop" 1 (List.length hops);
+  Alcotest.(check int) "right port" 7 (List.hd hops).Routing.out_port
+
+let jellyfish_builds_and_routes () =
+  let engine = Engine.create () in
+  let spec =
+    { Jellyfish.num_switches = 10; switch_degree = 4; hosts_per_switch = 2 }
+  in
+  let fabric =
+    Jellyfish.build engine ~spec ~switch_config:Switch.default_config
+      ~link_rate:(Rate.gbps 10.0) ~prng:(Prng.create ~seed:7) ()
+  in
+  Alcotest.(check int) "hosts" 20 (Fabric.host_count fabric);
+  let routing =
+    Routing.create fabric ~alts:4 ~tree_fn:(fun ~dst ~alt ->
+        Jellyfish.tree_out_ports fabric ~dst ~alt)
+  in
+  Routing.install routing;
+  (* Every pair has a valid path on every alternate. *)
+  for src = 0 to 19 do
+    for dst = 0 to 19 do
+      if src <> dst then
+        for alt = 0 to 3 do
+          let mac = Routing.mac_for routing ~dst ~alt in
+          let hops = Routing.path routing ~src ~dst_mac:mac in
+          Alcotest.(check bool) "path exists" true (List.length hops >= 1)
+        done
+    done
+  done
+
+let fabric_rejects_double_wiring () =
+  let engine = Engine.create () in
+  let fabric =
+    Fabric.build engine ~switch_ports:4 ~switch_config:Switch.default_config
+      ~link_rate:(Rate.gbps 10.0) ~num_switches:2 ~num_hosts:1
+      ~prng:(Prng.create ~seed:1) ()
+  in
+  Fabric.wire_host fabric ~host:0 ~switch:0 ~port:0;
+  Alcotest.check_raises "port taken" (Invalid_argument "x") (fun () ->
+      try Fabric.wire_switches fabric ~a:0 ~port_a:0 ~b:1 ~port_b:0
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "fat-tree shape counts" `Quick shape_counts;
+    Alcotest.test_case "fat-tree rejects odd k" `Quick shape_rejects_odd;
+    Alcotest.test_case "fat-tree wiring complete & symmetric" `Quick
+      wiring_complete;
+    Alcotest.test_case "hosts contiguous within pods" `Quick
+      hosts_contiguous_in_pods;
+    Alcotest.test_case "all-pairs paths valid" `Quick paths_valid_all_pairs;
+    Alcotest.test_case "cross-pod path uses expected core" `Quick
+      cross_pod_uses_expected_core;
+    Alcotest.test_case "same-edge path is one hop" `Quick
+      same_edge_path_is_one_hop;
+    Alcotest.test_case "alternates traverse distinct cores" `Quick
+      alternates_are_core_disjoint;
+    Alcotest.test_case "shadow routes installed at edge" `Quick
+      shadow_rewrites_installed;
+    qtest tree_validity_qcheck;
+    Alcotest.test_case "single-switch routing" `Quick single_switch_routes;
+    Alcotest.test_case "jellyfish builds and routes" `Quick
+      jellyfish_builds_and_routes;
+    Alcotest.test_case "fabric rejects double wiring" `Quick
+      fabric_rejects_double_wiring;
+  ]

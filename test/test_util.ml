@@ -1,0 +1,242 @@
+(* Unit and property tests for Planck_util. *)
+
+module Time = Planck_util.Time
+module Heap = Planck_util.Heap
+module Ring = Planck_util.Ring
+module Prng = Planck_util.Prng
+module Stats = Planck_util.Stats
+module Rate = Planck_util.Rate
+module Table = Planck_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Time ---- *)
+
+let time_units () =
+  Alcotest.(check int) "us" 1_000 (Time.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
+  Alcotest.(check int) "s" 1_000_000_000 (Time.s 1);
+  check_float "to_float_s" 1.5 (Time.to_float_s (Time.ms 1500));
+  check_float "of_float_s roundtrip" 2.5e-3
+    (Time.to_float_s (Time.of_float_s 2.5e-3));
+  Alcotest.(check string) "pp ms" "3.50ms" (Time.to_string (Time.us 3500));
+  Alcotest.(check string) "pp us" "280.00us" (Time.to_string (Time.us 280));
+  Alcotest.(check string) "pp ns" "42ns" (Time.to_string (Time.ns 42))
+
+(* ---- Heap ---- *)
+
+let heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.add h ~key:5 "five";
+  Heap.add h ~key:1 "one";
+  Heap.add h ~key:3 "three";
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.min_key h);
+  Alcotest.(check (option (pair int string)))
+    "pop order 1" (Some (1, "one")) (Heap.pop h);
+  Alcotest.(check (option (pair int string)))
+    "pop order 2" (Some (3, "three")) (Heap.pop h);
+  Alcotest.(check (option (pair int string)))
+    "pop order 3" (Some (5, "five")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop empty" None (Heap.pop h)
+
+let heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~key:7 v) [ "a"; "b"; "c" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "a"; "b"; "c" ] order
+
+let heap_sorts_qcheck =
+  QCheck.Test.make ~name:"heap pops keys in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ---- Ring ---- *)
+
+let ring_fifo () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "push 1" true (Ring.push r 1);
+  Alcotest.(check bool) "push 2" true (Ring.push r 2);
+  Alcotest.(check bool) "push 3" true (Ring.push r 3);
+  Alcotest.(check bool) "push full" false (Ring.push r 4);
+  Alcotest.(check int) "drops" 1 (Ring.drops r);
+  Alcotest.(check (option int)) "pop" (Some 1) (Ring.pop r);
+  Alcotest.(check bool) "push after pop" true (Ring.push r 5);
+  Alcotest.(check (list int)) "to_list" [ 2; 3; 5 ] (Ring.to_list r);
+  Alcotest.(check (list int)) "batch" [ 2; 3 ] (Ring.pop_batch r ~max:2);
+  Alcotest.(check int) "length" 1 (Ring.length r)
+
+let ring_qcheck =
+  QCheck.Test.make ~name:"ring preserves FIFO order under mixed ops"
+    ~count:200
+    QCheck.(pair (int_range 1 16) (list (option small_int)))
+    (fun (cap, ops) ->
+      (* Some x = push x, None = pop; compare against a plain queue. *)
+      let r = Ring.create ~capacity:cap in
+      let q = Queue.create () in
+      List.iter
+        (function
+          | Some x ->
+              let accepted = Ring.push r x in
+              if accepted then Queue.push x q
+          | None -> (
+              match (Ring.pop r, Queue.take_opt q) with
+              | Some a, Some b -> assert (a = b)
+              | None, None -> ()
+              | _ -> assert false))
+        ops;
+      Ring.length r = Queue.length q)
+
+(* ---- Prng ---- *)
+
+let prng_deterministic () =
+  let a = Prng.create ~seed:9 and b = Prng.create ~seed:9 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let prng_bounds () =
+  let p = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1_000 do
+    let f = Prng.float p 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let prng_split_independent () =
+  let p = Prng.create ~seed:4 in
+  let q = Prng.split p in
+  let xs = List.init 16 (fun _ -> Prng.int p 1_000_000) in
+  let ys = List.init 16 (fun _ -> Prng.int q 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let derangement_qcheck =
+  QCheck.Test.make ~name:"derangement has no fixed points" ~count:100
+    QCheck.(int_range 2 64)
+    (fun n ->
+      let p = Prng.create ~seed:n in
+      let d = Prng.derangement p n in
+      let is_permutation =
+        List.sort compare (Array.to_list d) = List.init n Fun.id
+      in
+      is_permutation && Array.for_all (fun i -> d.(i) <> i) (Array.init n Fun.id)
+      |> fun ok -> ok && Array.length d = n)
+
+let permutation_qcheck =
+  QCheck.Test.make ~name:"permutation is a permutation" ~count:100
+    QCheck.(int_range 0 128)
+    (fun n ->
+      let p = Prng.create ~seed:(n + 1) in
+      List.sort compare (Array.to_list (Prng.permutation p n))
+      = List.init n Fun.id)
+
+(* ---- Stats ---- *)
+
+let stats_basic () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 1.5 (Stats.median [ 1.0; 2.0 ]);
+  check_float "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "mean empty nan" true (Float.is_nan (Stats.mean []))
+
+let stats_cdf () =
+  let cdf = Stats.cdf [ 2.0; 1.0 ] in
+  Alcotest.(check int) "cdf points" 2 (List.length cdf);
+  let v, f = List.nth cdf 1 in
+  check_float "last value" 2.0 v;
+  check_float "last fraction" 1.0 f
+
+let stats_mre () =
+  check_float "exact" 0.0
+    (Stats.mean_relative_error ~truth:[ 1.0; 2.0 ] ~estimate:[ 1.0; 2.0 ]);
+  check_float "10 percent" 0.1
+    (Stats.mean_relative_error ~truth:[ 10.0 ] ~estimate:[ 11.0 ])
+
+let percentile_qcheck =
+  QCheck.Test.make ~name:"percentile is monotone and within bounds"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      let p25 = Stats.percentile 25.0 xs
+      and p50 = Stats.percentile 50.0 xs
+      and p75 = Stats.percentile 75.0 xs in
+      p25 >= lo && p75 <= hi && p25 <= p50 && p50 <= p75)
+
+let online_matches_batch_qcheck =
+  QCheck.Test.make ~name:"online mean/stddev match batch" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let o = Stats.Online.create () in
+      List.iter (Stats.Online.add o) xs;
+      abs_float (Stats.Online.mean o -. Stats.mean xs) < 1e-6
+      && abs_float (Stats.Online.stddev o -. Stats.stddev xs) < 1e-6)
+
+(* ---- Rate ---- *)
+
+let rate_roundtrip () =
+  let r = Rate.gbps 10.0 in
+  Alcotest.(check int) "tx time of 1250 bytes at 10G" 1_000
+    (Rate.tx_time r ~bytes_:1250);
+  Alcotest.(check int) "bytes in 1us at 10G" 1250
+    (Rate.bytes_in r (Time.us 1));
+  check_float "of_bytes_per" 1e9
+    (Rate.of_bytes_per 125_000_000 Time.second);
+  Alcotest.(check int) "zero bytes zero time" 0 (Rate.tx_time r ~bytes_:0);
+  Alcotest.(check bool) "min 1ns for tiny frames" true
+    (Rate.tx_time (Rate.gbps 100.0) ~bytes_:1 >= 1)
+
+(* ---- Table ---- *)
+
+let table_render () =
+  let out =
+    Table.render ~header:[ "name"; "value" ]
+      [ [ "x"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  Alcotest.(check bool) "has separator" true (String.contains out '-');
+  Alcotest.(check bool) "pads columns" true
+    (String.length (List.nth (String.split_on_char '\n' out) 0)
+    = String.length (List.nth (String.split_on_char '\n' out) 2))
+
+let table_csv () =
+  let out = Table.csv ~header:[ "a"; "b" ] [ [ "1,5"; "x\"y" ] ] in
+  Alcotest.(check string) "quoting" "a,b\n\"1,5\",\"x\"\"y\"\n" out
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "time units and printing" `Quick time_units;
+    Alcotest.test_case "heap basic ordering" `Quick heap_basic;
+    Alcotest.test_case "heap FIFO tie-break" `Quick heap_fifo_ties;
+    qtest heap_sorts_qcheck;
+    Alcotest.test_case "ring FIFO and drops" `Quick ring_fifo;
+    qtest ring_qcheck;
+    Alcotest.test_case "prng determinism" `Quick prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick prng_bounds;
+    Alcotest.test_case "prng split independence" `Quick prng_split_independent;
+    qtest derangement_qcheck;
+    qtest permutation_qcheck;
+    Alcotest.test_case "stats basics" `Quick stats_basic;
+    Alcotest.test_case "stats cdf" `Quick stats_cdf;
+    Alcotest.test_case "stats mean relative error" `Quick stats_mre;
+    qtest percentile_qcheck;
+    qtest online_matches_batch_qcheck;
+    Alcotest.test_case "rate arithmetic" `Quick rate_roundtrip;
+    Alcotest.test_case "table rendering" `Quick table_render;
+    Alcotest.test_case "table csv quoting" `Quick table_csv;
+  ]

@@ -1,0 +1,69 @@
+(* Shared fixtures for integration-flavoured tests: small single-switch
+   and fat-tree networks with routing installed and ARP populated. *)
+
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Prng = Planck_util.Prng
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+module Host = Planck_netsim.Host
+module Fabric = Planck_topology.Fabric
+module Routing = Planck_topology.Routing
+module Single_switch = Planck_topology.Single_switch
+module Fat_tree = Planck_topology.Fat_tree
+module Endpoint = Planck_tcp.Endpoint
+module Flow = Planck_tcp.Flow
+
+let rate_10g = Rate.gbps 10.0
+let rate_1g = Rate.gbps 1.0
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  routing : Routing.t;
+  endpoints : Endpoint.t array;
+}
+
+let single_switch ?(hosts = 4) ?(rate = rate_10g) ?(seed = 42)
+    ?(config = Switch.default_config) () =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  let fabric =
+    Single_switch.build engine ~hosts ~switch_config:config ~link_rate:rate
+      ~prng ()
+  in
+  let routing =
+    Routing.create fabric ~alts:1 ~tree_fn:(fun ~dst ~alt:_ ->
+        Single_switch.tree_out_ports ~hosts ~dst)
+  in
+  Routing.install routing;
+  Fabric.populate_arp fabric;
+  let endpoints =
+    Array.init hosts (fun i -> Endpoint.create (Fabric.host fabric i))
+  in
+  { engine; fabric; routing; endpoints }
+
+let fat_tree ?(k = 4) ?(rate = rate_10g) ?(seed = 42)
+    ?(config = Switch.default_config) () =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed in
+  let fabric, shape =
+    Fat_tree.build engine ~k ~switch_config:config ~link_rate:rate ~prng ()
+  in
+  let routing =
+    Routing.create fabric ~alts:(Fat_tree.max_alts shape)
+      ~tree_fn:(fun ~dst ~alt ->
+        Fat_tree.tree_out_ports shape ~dst
+          ~core:(Fat_tree.core_for shape ~dst ~alt))
+  in
+  Routing.install routing;
+  Fabric.populate_arp fabric;
+  let endpoints =
+    Array.init (Fabric.host_count fabric) (fun i ->
+        Endpoint.create (Fabric.host fabric i))
+  in
+  (({ engine; fabric; routing; endpoints } : t), shape)
+
+let start_flow t ~src ~dst ~size ?params () =
+  Flow.start ~src:t.endpoints.(src) ~dst:t.endpoints.(dst)
+    ~src_port:(10_000 + src) ~dst_port:(20_000 + dst) ~size ?params ()
