@@ -6,7 +6,14 @@
      dune exec bench/main.exe -- fig14 fig17  # a subset
      dune exec bench/main.exe -- --full       # paper-scale (slow)
      dune exec bench/main.exe -- --list       # what exists
+     dune exec bench/main.exe -- fig15 --json out.json   # machine-readable
+     dune exec bench/main.exe -- fig13 --trace-out t.json  # Perfetto trace
 *)
+
+module Json = Planck_telemetry.Json
+module Metrics = Planck_telemetry.Metrics
+module Trace = Planck_telemetry.Trace
+module Export = Planck_telemetry.Export
 
 let experiments : (string * string * (Exp_common.opts -> unit)) list =
   [
@@ -55,16 +62,61 @@ let run_selected names opts with_micro =
     Printf.eprintf "no experiment matches %s\n" (String.concat ", " names);
     exit 1
   end;
-  List.iter
-    (fun (name, _, run) ->
-      let t = Unix.gettimeofday () in
-      (try run opts
-       with exn ->
-         Printf.printf "  [%s FAILED: %s]\n%!" name (Printexc.to_string exn));
-      Printf.printf "  [%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t))
-    selected;
+  let timed =
+    List.map
+      (fun (name, _, run) ->
+        let t = Unix.gettimeofday () in
+        let ok =
+          try
+            run opts;
+            true
+          with exn ->
+            Printf.printf "  [%s FAILED: %s]\n%!" name (Printexc.to_string exn);
+            false
+        in
+        let wall = Unix.gettimeofday () -. t in
+        Printf.printf "  [%s took %.1fs]\n%!" name wall;
+        (name, wall, ok))
+      selected
+  in
   if with_micro then Micro.run ();
-  Printf.printf "\nTotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal wall time: %.1fs\n%!" total;
+  (timed, total)
+
+(* The machine-readable emitter behind --json: one document per
+   invocation, so perf trajectories (BENCH_*.json) can accumulate
+   across PRs. The [metrics] member is the process-wide telemetry
+   snapshot, giving every bench id a common vocabulary of internals
+   (events processed, drops, sample counts, ...) for free. *)
+let emit_json path timed total =
+  let doc =
+    Json.Obj
+      [
+        ( "id",
+          Json.String
+            (String.concat "+" (List.map (fun (name, _, _) -> name) timed)) );
+        ( "experiments",
+          Json.List
+            (List.map
+               (fun (name, wall, ok) ->
+                 Json.Obj
+                   [
+                     ("id", Json.String name);
+                     ("wall_time", Json.Float wall);
+                     ("ok", Json.Bool ok);
+                   ])
+               timed) );
+        ( "metrics",
+          match Json.member (Export.metrics_to_json Metrics.default) "metrics"
+          with
+          | Some metrics -> metrics
+          | None -> Json.List [] );
+        ("wall_time", Json.Float total);
+      ]
+  in
+  Export.write_file ~path (Json.to_string doc);
+  Printf.printf "wrote bench results to %s\n%!" path
 
 open Cmdliner
 
@@ -98,7 +150,26 @@ let micro_flag =
   let doc = "Also run the Bechamel microbenchmarks." in
   Arg.(value & flag & info [ "micro" ] ~doc)
 
-let main names runs full seed list_experiments with_micro =
+let json_out =
+  let doc =
+    "Write a machine-readable summary {id, experiments, metrics, wall_time} \
+     to $(docv). Implies telemetry collection."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc = "Enable telemetry and write the metric snapshot as JSON." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out =
+  let doc =
+    "Enable sim-time tracing and write a Chrome trace_event JSON (open in \
+     chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let main names runs full seed list_experiments with_micro json_path
+    metrics_path trace_path =
   if list_experiments then begin
     List.iter
       (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
@@ -106,6 +177,17 @@ let main names runs full seed list_experiments with_micro =
     Printf.printf "%-10s %s\n" "(--micro)" "Bechamel hot-path microbenchmarks"
   end
   else begin
+    (* Probe each output path before spending minutes on experiments. *)
+    List.iter
+      (Option.iter (fun path ->
+           try Export.write_file ~path ""
+           with Sys_error msg ->
+             Printf.eprintf "planck-bench: cannot write %s\n" msg;
+             exit 1))
+      [ json_path; metrics_path; trace_path ];
+    if json_path <> None || metrics_path <> None then
+      Metrics.set_enabled Metrics.default true;
+    if trace_path <> None then Trace.set_enabled Trace.default true;
     let opts =
       {
         Exp_common.runs;
@@ -114,7 +196,24 @@ let main names runs full seed list_experiments with_micro =
         verbose = false;
       }
     in
-    run_selected names opts with_micro
+    let timed, total = run_selected names opts with_micro in
+    Option.iter (fun path -> emit_json path timed total) json_path;
+    Option.iter
+      (fun path ->
+        Export.write_file ~path (Export.metrics_json Metrics.default);
+        Printf.printf "wrote %d metrics to %s\n%!"
+          (Metrics.size Metrics.default)
+          path)
+      metrics_path;
+    Option.iter
+      (fun path ->
+        Export.write_file ~path (Trace.to_chrome_json Trace.default);
+        Printf.printf
+          "wrote %d trace events to %s (open in chrome://tracing or \
+           Perfetto)\n\
+           %!"
+          (Trace.length Trace.default) path)
+      trace_path
   end
 
 let cmd =
@@ -124,6 +223,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "planck-bench" ~doc)
-    Term.(const main $ names $ runs $ full $ seed $ list_flag $ micro_flag)
+    Term.(
+      const main $ names $ runs $ full $ seed $ list_flag $ micro_flag
+      $ json_out $ metrics_out $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -17,7 +17,52 @@ module Collector = Planck_collector.Collector
 module Te = Planck_controller.Te
 module Reroute = Planck_controller.Reroute
 module Poller = Planck_baselines.Poller
+module Metrics = Planck_telemetry.Metrics
+module Trace = Planck_telemetry.Trace
+module Export = Planck_telemetry.Export
+module Flusher = Planck_telemetry.Flusher
 open Planck
+
+(* ---- telemetry plumbing (--metrics-out / --trace-out) ---- *)
+
+(* Passing either flag flips the process-wide registry/trace on for the
+   whole run; at exit the snapshots are written (the capture subcommand
+   additionally flushes periodically on the simulation clock). Each
+   output path is probed up front so a typo fails before the simulation
+   runs, not at the first flush. *)
+let telemetry_setup metrics_out trace_out =
+  let probe = function
+    | None -> true
+    | Some path -> (
+        try
+          Export.write_file ~path "";
+          true
+        with Sys_error msg ->
+          Printf.eprintf "planck-cli: cannot write %s\n" msg;
+          false)
+  in
+  if probe metrics_out && probe trace_out then begin
+    if metrics_out <> None then Metrics.set_enabled Metrics.default true;
+    if trace_out <> None then Trace.set_enabled Trace.default true;
+    true
+  end
+  else false
+
+let telemetry_dump metrics_out trace_out =
+  Option.iter
+    (fun path ->
+      Export.write_file ~path (Export.metrics_json Metrics.default);
+      Printf.printf "wrote %d metrics to %s\n"
+        (Metrics.size Metrics.default)
+        path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      Export.write_file ~path (Trace.to_chrome_json Trace.default);
+      Printf.printf
+        "wrote %d trace events to %s (open in chrome://tracing or Perfetto)\n"
+        (Trace.length Trace.default) path)
+    trace_out
 
 (* ---- topology subcommand ---- *)
 
@@ -81,12 +126,13 @@ let parse_scheme = function
   | "optimal" -> Ok `Optimal
   | s -> Error (Printf.sprintf "unknown scheme %s" s)
 
-let run_experiment () workload_name scheme_name size_mib runs seed csv =
+let run_experiment () workload_name scheme_name size_mib runs seed csv
+    metrics_out trace_out =
   match (parse_workload workload_name, parse_scheme scheme_name) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok workload, Ok scheme ->
+  | Ok workload, Ok scheme when telemetry_setup metrics_out trace_out ->
       let spec, sch =
         match scheme with
         | `Fabric s -> (Testbed.paper_fat_tree ~seed (), s)
@@ -119,17 +165,29 @@ let run_experiment () workload_name scheme_name size_mib runs seed csv =
         Printf.printf "mean average flow throughput: %.3f Gbps\n"
           (Experiment.mean_avg_goodput summaries)
       end;
+      telemetry_dump metrics_out trace_out;
       0
+  | _ -> 1
 
 (* ---- capture subcommand ---- *)
 
-let capture output duration_ms seed =
-  let tb = Testbed.create (Testbed.paper_fat_tree ~seed ()) in
+let capture output duration_ms seed metrics_out trace_out =
+  if not (telemetry_setup metrics_out trace_out) then 1
+  else begin
+    let tb = Testbed.create (Testbed.paper_fat_tree ~seed ()) in
   let collector =
     Collector.create tb.Testbed.engine ~switch:0 ~routing:tb.Testbed.routing
       ~link_rate:(Testbed.link_rate tb) ()
   in
   Collector.attach collector;
+  (* Keep the snapshot files fresh while the capture runs: flush every
+     simulated millisecond on the engine's own clock. *)
+  (match metrics_out with
+  | Some path ->
+      let fl = Flusher.create ~outputs:[ Flusher.Metrics_json path ] () in
+      Flusher.schedule fl ~period:(Time.ms 1)
+        ~every:(fun ~period f -> Engine.every tb.Testbed.engine ~period f)
+  | None -> ());
   (* Some background traffic through switch 0 (an edge switch). *)
   ignore
     (Planck_tcp.Flow.start ~src:tb.Testbed.endpoints.(0)
@@ -147,7 +205,9 @@ let capture output duration_ms seed =
   Printf.printf "wrote %d samples (%d bytes) to %s\n"
     (Collector.vantage_count collector)
     (String.length pcap) output;
+  telemetry_dump metrics_out trace_out;
   0
+  end
 
 (* ---- cmdliner wiring ---- *)
 
@@ -162,6 +222,22 @@ let debug_arg =
   Term.(const setup_logs $ Arg.(value & flag & info [ "debug" ] ~doc))
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Enable telemetry and write the metric snapshot as JSON.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable sim-time tracing and write a Chrome trace_event JSON \
+           (open in chrome://tracing or ui.perfetto.dev).")
 
 let topology_cmd =
   let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Fat-tree arity.") in
@@ -192,7 +268,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload under a routing scheme")
     Term.(
       const run_experiment $ debug_arg $ workload $ scheme $ size $ runs
-      $ seed_arg $ csv)
+      $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg)
 
 let capture_cmd =
   let output =
@@ -206,7 +282,9 @@ let capture_cmd =
   in
   Cmd.v
     (Cmd.info "capture" ~doc:"Dump a switch vantage point to pcap")
-    Term.(const capture $ output $ duration $ seed_arg)
+    Term.(
+      const capture $ output $ duration $ seed_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 let () =
   let doc = "Planck (SIGCOMM 2014 reproduction) command-line tool" in

@@ -11,6 +11,8 @@ module Ipv4_addr = Planck_packet.Ipv4_addr
 module Pcap = Planck_packet.Pcap
 module Routing = Planck_topology.Routing
 module Fabric = Planck_topology.Fabric
+module Metrics = Planck_telemetry.Metrics
+module Trace = Planck_telemetry.Trace
 
 let log = Logs.Src.create "planck.collector" ~doc:"Planck collector"
 
@@ -83,9 +85,20 @@ type t = {
   mutable samples_seen : int;
   mutable data_samples : int;
   mutable parse_errors : int;
+  (* Telemetry handles, labelled "s<switch>" in the process-wide
+     registry. Sample latency is rx - arrival: the netmap batching
+     delay the sink adds (the "collector" slice of Fig 12). *)
+  tel_samples : Metrics.counter;
+  tel_data_samples : Metrics.counter;
+  tel_parse_errors : Metrics.counter;
+  tel_estimates : Metrics.counter;
+  tel_congestion_events : Metrics.counter;
+  tel_poll_latency : Metrics.histogram;
 }
 
 let create engine ~switch ~routing ~link_rate ?(config = default_config) () =
+  let tel_label = Printf.sprintf "s%d" switch in
+  let tel name = Metrics.counter ~subsystem:"collector" ~name ~label:tel_label () in
   {
     engine;
     switch;
@@ -104,6 +117,14 @@ let create engine ~switch ~routing ~link_rate ?(config = default_config) () =
     samples_seen = 0;
     data_samples = 0;
     parse_errors = 0;
+    tel_samples = tel "samples";
+    tel_data_samples = tel "data_samples";
+    tel_parse_errors = tel "parse_errors";
+    tel_estimates = tel "estimate_updates";
+    tel_congestion_events = tel "congestion_events";
+    tel_poll_latency =
+      Metrics.histogram ~subsystem:"collector" ~name:"poll_latency_ns"
+        ~label:tel_label ();
   }
 
 let switch_id t = t.switch
@@ -169,6 +190,16 @@ let check_congestion t ~port =
             m "s%d: port %d utilization %.2f Gbps crossed a threshold"
               t.switch port (utilization /. 1e9));
         Hashtbl.replace t.last_event port now;
+        Metrics.Counter.incr t.tel_congestion_events;
+        Trace.instant Trace.default ~now ~cat:"collector"
+          ~name:"congestion_detected"
+          ~args:
+            [
+              ("switch", Trace.Int t.switch);
+              ("port", Trace.Int port);
+              ("gbps", Trace.Float (utilization /. 1e9));
+            ]
+          ();
         let event =
           {
             time = now;
@@ -188,8 +219,13 @@ let check_congestion t ~port =
 
 let process t (record : Sink.record) =
   t.samples_seen <- t.samples_seen + 1;
+  Metrics.Counter.incr t.tel_samples;
+  Metrics.Histogram.observe t.tel_poll_latency
+    (record.Sink.rx - record.Sink.arrival);
   match Packet.parse record.Sink.wire ~wire_size:record.Sink.wire_size with
-  | None -> t.parse_errors <- t.parse_errors + 1
+  | None ->
+      t.parse_errors <- t.parse_errors + 1;
+      Metrics.Counter.incr t.tel_parse_errors
   | Some packet ->
       if Ring.is_full t.vantage then ignore (Ring.pop t.vantage);
       ignore (Ring.push t.vantage (record.Sink.rx, packet));
@@ -227,6 +263,7 @@ let process t (record : Sink.record) =
       (match (key, seq32) with
       | Some key, Some seq32 when payload > 0 ->
           t.data_samples <- t.data_samples + 1;
+          Metrics.Counter.incr t.tel_data_samples;
           let entry =
             Flow_table.touch t.flows ~key ~time:record.Sink.rx
               ~max_rate:t.link_rate
@@ -245,6 +282,7 @@ let process t (record : Sink.record) =
                ~time:record.Sink.rx ~seq32
            with
           | Some rate ->
+              Metrics.Counter.incr t.tel_estimates;
               List.iter
                 (fun hook -> hook key rate record.Sink.rx)
                 t.estimate_hooks;
@@ -274,6 +312,7 @@ let attach t =
       let sink =
         Sink.create t.engine ~ring_capacity:t.config.ring_capacity
           ~poll_interval:t.config.poll_interval
+          ~label:(Printf.sprintf "s%d" t.switch)
           ~consumer:(fun record -> process t record)
           ()
       in

@@ -7,6 +7,8 @@ module Ipv4_addr = Planck_packet.Ipv4_addr
 module Routing = Planck_topology.Routing
 module Control_channel = Planck_openflow.Control_channel
 module Collector = Planck_collector.Collector
+module Metrics = Planck_telemetry.Metrics
+module Trace = Planck_telemetry.Trace
 
 let log = Logs.Src.create "planck.te" ~doc:"Traffic-engineering application"
 
@@ -38,6 +40,8 @@ type t = {
   mutable reroutes : int;
   mutable reroute_hooks :
     (Time.t -> Flow_key.t -> old_mac:Mac.t -> new_mac:Mac.t -> unit) list;
+  tel_notifications : Metrics.counter;
+  tel_reroutes : Metrics.counter;
 }
 
 (* greedy_route_flow of Algorithm 1: consider the flow's current path
@@ -82,6 +86,19 @@ let greedy_route_flow t flow =
                 Flow_key.pp flow.Net_view.key Mac.pp current_mac Mac.pp
                 !best_mac (!best_btlneck /. 1e9));
           t.reroutes <- t.reroutes + 1;
+          Metrics.Counter.incr t.tel_reroutes;
+          Trace.instant Trace.default ~now ~cat:"te" ~name:"reroute"
+            ~args:
+              [
+                ( "flow",
+                  Trace.String
+                    (Format.asprintf "%a" Flow_key.pp flow.Net_view.key) );
+                ( "old_mac",
+                  Trace.String (Mac.to_string flow.Net_view.dst_mac) );
+                ("new_mac", Trace.String (Mac.to_string !best_mac));
+                ("bottleneck_gbps", Trace.Float (!best_btlneck /. 1e9));
+              ]
+            ();
           flow.Net_view.no_reroute_until <- now + t.config.reroute_cooldown;
           Net_view.set_route t.view flow !best_mac;
           Reroute.apply t.config.mechanism ~channel:t.channel
@@ -102,7 +119,20 @@ let process t (event : Collector.congestion) =
         (event.Collector.utilization /. 1e9)
         (List.length event.Collector.flows));
   t.notifications <- t.notifications + 1;
+  Metrics.Counter.incr t.tel_notifications;
   let now = Engine.now t.engine in
+  (* The control-loop span of Fig 12/15: opened retroactively at the
+     collector's detection stamp, closed when this handler (and any
+     reroute messages it sent) is done. The span's duration is exactly
+     the detection-to-response gap the reroute experiments print. *)
+  let span_args =
+    [
+      ("switch", Trace.Int event.Collector.switch);
+      ("port", Trace.Int event.Collector.port);
+    ]
+  in
+  Trace.span_begin Trace.default ~now:event.Collector.time ~cat:"te"
+    ~name:"control_loop" ~args:span_args ();
   let flows =
     List.map
       (fun (key, rate, dst_mac) ->
@@ -116,7 +146,10 @@ let process t (event : Collector.congestion) =
   let flows =
     List.sort (fun a b -> compare a.Net_view.rate b.Net_view.rate) flows
   in
-  List.iter (greedy_route_flow t) flows
+  List.iter (greedy_route_flow t) flows;
+  Trace.span_end Trace.default
+    ~now:(Engine.now t.engine)
+    ~cat:"te" ~name:"control_loop" ()
 
 let create engine ~routing ~channel ~collectors ~link_rate
     ?(config = default_config) () =
@@ -131,6 +164,9 @@ let create engine ~routing ~channel ~collectors ~link_rate
       notifications = 0;
       reroutes = 0;
       reroute_hooks = [];
+      tel_notifications =
+        Metrics.counter ~subsystem:"te" ~name:"notifications" ();
+      tel_reroutes = Metrics.counter ~subsystem:"te" ~name:"reroutes" ();
     }
   in
   List.iter

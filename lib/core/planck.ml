@@ -24,6 +24,7 @@ module Scalability = Scalability
 (** {2 Re-exported layers} *)
 
 module Util = Planck_util
+module Telemetry = Planck_telemetry
 module Packet_model = Planck_packet
 module Netsim = Planck_netsim
 module Tcp = Planck_tcp

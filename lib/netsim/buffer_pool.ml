@@ -5,6 +5,7 @@ type t = {
   per_port : int array; (* total bytes queued per port *)
   caps : int option array;
   mutable shared : int; (* bytes drawn from the shared region *)
+  mutable shared_hw : int; (* high-water mark of [shared] *)
 }
 
 let create ~total ~reservation ~alpha ~ports =
@@ -19,6 +20,7 @@ let create ~total ~reservation ~alpha ~ports =
     per_port = Array.make ports 0;
     caps = Array.make ports None;
     shared = 0;
+    shared_hw = 0;
   }
 
 let shared_capacity t = t.total - (t.reservation * Array.length t.per_port)
@@ -48,6 +50,7 @@ let try_alloc t ~port ~bytes_ =
   in
   if cap_ok && dt_ok then begin
     t.shared <- t.shared + demand;
+    if t.shared > t.shared_hw then t.shared_hw <- t.shared;
     t.per_port.(port) <- new_used;
     true
   end
@@ -64,5 +67,6 @@ let release t ~port ~bytes_ =
 
 let port_used t ~port = t.per_port.(port)
 let shared_used t = t.shared
+let shared_high_water t = t.shared_hw
 let total_used t = Array.fold_left ( + ) 0 t.per_port
 let capacity t = t.total

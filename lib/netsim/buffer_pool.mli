@@ -34,5 +34,10 @@ val release : t -> port:int -> bytes_:int -> unit
 
 val port_used : t -> port:int -> int
 val shared_used : t -> int
+
+val shared_high_water : t -> int
+(** Largest value {!shared_used} has ever reached — the occupancy
+    high-water mark the switch telemetry gauge reports. *)
+
 val total_used : t -> int
 val capacity : t -> int

@@ -1,22 +1,42 @@
 module Time = Planck_util.Time
 module Heap = Planck_util.Heap
+module Metrics = Planck_telemetry.Metrics
+
+(* All engines share the process-wide registry: the counters aggregate
+   across engine instances (one per testbed), which is what the CLI and
+   bench snapshots want. Per-engine introspection uses the accessors. *)
+let m_events = Metrics.counter ~subsystem:"engine" ~name:"events_processed" ()
+
+let m_pending_hw =
+  Metrics.gauge ~subsystem:"engine" ~name:"pending_high_water" ()
 
 type t = {
   queue : (unit -> unit) Heap.t;
   mutable clock : Time.t;
   mutable processed : int;
+  mutable max_pending : int;
 }
 
-let create () = { queue = Heap.create (); clock = 0; processed = 0 }
+let create () =
+  { queue = Heap.create (); clock = 0; processed = 0; max_pending = 0 }
+
 let now t = t.clock
+
+let push t ~key f =
+  Heap.add t.queue ~key f;
+  let n = Heap.length t.queue in
+  if n > t.max_pending then begin
+    t.max_pending <- n;
+    Metrics.Gauge.set_int m_pending_hw n
+  end
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.add t.queue ~key:time f
+  push t ~key:time f
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.add t.queue ~key:(t.clock + delay) f
+  push t ~key:(t.clock + delay) f
 
 let every t ~period ?until f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
@@ -34,6 +54,7 @@ let step t =
   | Some (time, f) ->
       t.clock <- time;
       t.processed <- t.processed + 1;
+      Metrics.Counter.incr m_events;
       f ();
       true
 
@@ -52,3 +73,4 @@ let run ?until t =
 
 let events_processed t = t.processed
 let pending t = Heap.length t.queue
+let max_pending t = t.max_pending

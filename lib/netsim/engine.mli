@@ -33,5 +33,18 @@ val run : ?until:Planck_util.Time.t -> t -> unit
 val step : t -> bool
 (** Process exactly one event; [false] if the queue was empty. *)
 
+(** {2 Introspection}
+
+    Exposed so telemetry and tests can assert on scheduler state; the
+    same quantities feed the process-wide [engine.events_processed]
+    counter and [engine.pending_high_water] gauge in
+    {!Planck_telemetry.Metrics.default}. *)
+
 val events_processed : t -> int
+(** Events executed by {!step}/{!run} since creation. *)
+
 val pending : t -> int
+(** Events currently queued. *)
+
+val max_pending : t -> int
+(** High-water mark of {!pending} over the engine's lifetime. *)

@@ -1,6 +1,7 @@
 module Time = Planck_util.Time
 module Ring = Planck_util.Ring
 module Packet = Planck_packet.Packet
+module Metrics = Planck_telemetry.Metrics
 
 type record = { arrival : Time.t; rx : Time.t; wire : bytes; wire_size : int }
 
@@ -13,10 +14,12 @@ type t = {
   consumer : record -> unit;
   mutable poll_scheduled : bool;
   mutable seen : int;
+  tel_frames : Metrics.counter;
+  tel_ring_drops : Metrics.counter;
 }
 
 let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
-    ~consumer () =
+    ?(label = "") ~consumer () =
   {
     engine;
     ring = Ring.create ~capacity:ring_capacity;
@@ -24,6 +27,9 @@ let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
     consumer;
     poll_scheduled = false;
     seen = 0;
+    tel_frames = Metrics.counter ~subsystem:"sink" ~name:"frames" ~label ();
+    tel_ring_drops =
+      Metrics.counter ~subsystem:"sink" ~name:"ring_drops" ~label ();
   }
 
 let drain t =
@@ -48,11 +54,13 @@ let ingress t packet =
   let now = Engine.now t.engine in
   if Ring.push t.ring { arrived = now; packet } then begin
     t.seen <- t.seen + 1;
+    Metrics.Counter.incr t.tel_frames;
     if not t.poll_scheduled then begin
       t.poll_scheduled <- true;
       Engine.schedule t.engine ~delay:t.poll_interval (fun () -> drain t)
     end
   end
+  else Metrics.Counter.incr t.tel_ring_drops
 
 let frames_seen t = t.seen
 let ring_drops t = Ring.drops t.ring

@@ -24,10 +24,14 @@ val create :
   Engine.t ->
   ?ring_capacity:int ->
   ?poll_interval:Planck_util.Time.t ->
+  ?label:string ->
   consumer:(record -> unit) ->
   unit ->
   t
-(** Defaults: 2048-slot ring, 25 µs poll interval. *)
+(** Defaults: 2048-slot ring, 25 µs poll interval. [label] tags this
+    sink's telemetry counters ([sink.frames], [sink.ring_drops]) in
+    {!Planck_telemetry.Metrics.default}; collectors pass their switch
+    id. *)
 
 val ingress : t -> Planck_packet.Packet.t -> unit
 (** Frame fully arrived; hand this to the peer's transmit side. *)

@@ -3,6 +3,7 @@ module Rate = Planck_util.Rate
 module Prng = Planck_util.Prng
 module Packet = Planck_packet.Packet
 module Mac = Planck_packet.Mac
+module Metrics = Planck_telemetry.Metrics
 
 type arbitration = Round_robin | Fifo
 
@@ -38,6 +39,17 @@ type counters = {
   mutable mirror_drops : int;
 }
 
+(* Per-port telemetry handles (process-wide registry, labelled
+   "<switch>.p<port>"), plus the per-switch shared-buffer high-water
+   gauge. Registered once at switch creation; every hot-path update is
+   a single enabled-flag branch when telemetry is off. *)
+type telemetry = {
+  tel_enqueued : Metrics.counter array;
+  tel_data_drops : Metrics.counter array;
+  tel_mirror_drops : Metrics.counter array;
+  tel_buffer_hw : Metrics.gauge;
+}
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -57,6 +69,7 @@ type t = {
   mutable mirror_total : int;
   mutable mirror_special : int;
   prng : Prng.t;
+  tel : telemetry;
 }
 
 let create engine ~name ~ports ~config ?prng () =
@@ -88,6 +101,21 @@ let create engine ~name ~ports ~config ?prng () =
     mirror_total = 0;
     mirror_special = 0;
     prng;
+    tel =
+      (let per_port metric =
+         Array.init ports (fun port ->
+             Metrics.counter ~subsystem:"switch" ~name:metric
+               ~label:(Printf.sprintf "%s.p%d" name port)
+               ())
+       in
+       {
+         tel_enqueued = per_port "enqueued";
+         tel_data_drops = per_port "data_drops";
+         tel_mirror_drops = per_port "mirror_drops";
+         tel_buffer_hw =
+           Metrics.gauge ~subsystem:"switch" ~name:"buffer_shared_high_water"
+             ~label:name ();
+       });
   }
 
 let name t = t.name
@@ -167,20 +195,31 @@ let monitor_port t = t.monitor
 
 (* Admission + enqueue on one egress port. [mirror] selects which drop
    counter an admission failure charges. *)
+let drop t ~port ~mirror =
+  if mirror then begin
+    t.counters.(port).mirror_drops <- t.counters.(port).mirror_drops + 1;
+    Metrics.Counter.incr t.tel.tel_mirror_drops.(port)
+  end
+  else begin
+    t.counters.(port).data_drops <- t.counters.(port).data_drops + 1;
+    Metrics.Counter.incr t.tel.tel_data_drops.(port)
+  end
+
 let enqueue t ~port ~cls ~mirror packet =
   match t.tx.(port) with
   | None ->
       (* Egress not wired up: treat as drop. *)
-      if mirror then
-        t.counters.(port).mirror_drops <- t.counters.(port).mirror_drops + 1
-      else t.counters.(port).data_drops <- t.counters.(port).data_drops + 1
+      drop t ~port ~mirror
   | Some txport ->
       if
         Buffer_pool.try_alloc t.buffer ~port ~bytes_:packet.Packet.wire_size
-      then Txport.enqueue txport ~cls packet
-      else if mirror then
-        t.counters.(port).mirror_drops <- t.counters.(port).mirror_drops + 1
-      else t.counters.(port).data_drops <- t.counters.(port).data_drops + 1
+      then begin
+        Metrics.Counter.incr t.tel.tel_enqueued.(port);
+        Metrics.Gauge.set_int t.tel.tel_buffer_hw
+          (Buffer_pool.shared_high_water t.buffer);
+        Txport.enqueue txport ~cls packet
+      end
+      else drop t ~port ~mirror
 
 let forward t ~in_port packet =
   (* Ingress match-action: per-flow destination rewrite (OpenFlow

@@ -1,0 +1,94 @@
+(* Snapshot writers: metric registries as JSON or CSV documents, and a
+   tiny file sink shared by the CLI/bench flags and the flusher. *)
+
+let json_of_snapshot (s : Metrics.snapshot) =
+  let base =
+    [
+      ("subsystem", Json.String s.Metrics.subsystem);
+      ("name", Json.String s.Metrics.name);
+      ("label", Json.String s.Metrics.label);
+    ]
+  in
+  let value =
+    match s.Metrics.value with
+    | Metrics.Counter_value v ->
+        [ ("kind", Json.String "counter"); ("value", Json.Int v) ]
+    | Metrics.Gauge_value { value; max } ->
+        [
+          ("kind", Json.String "gauge");
+          ("value", Json.Float value);
+          ("max", Json.Float max);
+        ]
+    | Metrics.Histogram_value { count; sum; min; max; buckets } ->
+        [
+          ("kind", Json.String "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.Int sum);
+          ("min", Json.Int min);
+          ("max", Json.Int max);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (lo, hi, n) ->
+                   Json.List [ Json.Int lo; Json.Int hi; Json.Int n ])
+                 buckets) );
+        ]
+  in
+  Json.Obj (base @ value)
+
+let metrics_to_json registry =
+  Json.Obj
+    [
+      ( "metrics",
+        Json.List (List.map json_of_snapshot (Metrics.snapshot registry)) );
+    ]
+
+let metrics_json registry = Json.to_string (metrics_to_json registry)
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let metrics_csv registry =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "subsystem,name,label,kind,value,count,sum,min,max\n";
+  List.iter
+    (fun (s : Metrics.snapshot) ->
+      let kind, value, count, sum, min, max =
+        match s.Metrics.value with
+        | Metrics.Counter_value v ->
+            ("counter", string_of_int v, "", "", "", "")
+        | Metrics.Gauge_value { value; max } ->
+            ("gauge", Printf.sprintf "%g" value, "", "", "",
+             Printf.sprintf "%g" max)
+        | Metrics.Histogram_value { count; sum; min; max; _ } ->
+            ( "histogram",
+              "",
+              string_of_int count,
+              string_of_int sum,
+              string_of_int min,
+              string_of_int max )
+      in
+      Buffer.add_string buf
+        (String.concat ","
+           [
+             csv_field s.Metrics.subsystem;
+             csv_field s.Metrics.name;
+             csv_field s.Metrics.label;
+             kind;
+             value;
+             count;
+             sum;
+             min;
+             max;
+           ]);
+      Buffer.add_char buf '\n')
+    (Metrics.snapshot registry);
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,18 @@
+(** Pluggable snapshot sinks for {!Metrics} registries.
+
+    Both formats render {!Metrics.snapshot}, so they are deterministic
+    (sorted by [(subsystem, name, label)]). Traces export themselves via
+    {!Trace.to_chrome_json}. *)
+
+val metrics_to_json : Metrics.registry -> Json.t
+(** [{"metrics": [{subsystem, name, label, kind, ...}, ...]}]. Counters
+    carry [value]; gauges [value] and [max] (high-water); histograms
+    [count], [sum], [min], [max] and non-empty [buckets] as
+    [[lo, hi, count]] triples. *)
+
+val metrics_json : Metrics.registry -> string
+val metrics_csv : Metrics.registry -> string
+(** Header [subsystem,name,label,kind,value,count,sum,min,max]; fields
+    not applicable to a kind are left empty. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,44 @@
+module Time = Planck_util.Time
+
+type output =
+  | Metrics_json of string
+  | Metrics_csv of string
+  | Trace_json of string
+  | Custom of (unit -> unit)
+
+type t = {
+  registry : Metrics.registry;
+  trace : Trace.t;
+  outputs : output list;
+  mutable flushes : int;
+}
+
+let create ?(registry = Metrics.default) ?(trace = Trace.default) ~outputs ()
+    =
+  { registry; trace; outputs; flushes = 0 }
+
+let flush t =
+  t.flushes <- t.flushes + 1;
+  List.iter
+    (fun output ->
+      match output with
+      | Metrics_json path ->
+          Export.write_file ~path (Export.metrics_json t.registry)
+      | Metrics_csv path ->
+          Export.write_file ~path (Export.metrics_csv t.registry)
+      | Trace_json path ->
+          Export.write_file ~path (Trace.to_chrome_json t.trace)
+      | Custom f -> f ())
+    t.outputs
+
+let flushes t = t.flushes
+
+(* The engine lives above this library (netsim depends on telemetry),
+   so periodic flushing takes the scheduler as a capability — pass
+   [Engine.every engine] partially applied:
+
+     Flusher.schedule fl ~period:(Time.ms 100)
+       ~every:(fun ~period f -> Engine.every engine ~period f)     *)
+let schedule t ~every ~period =
+  if period <= 0 then invalid_arg "Flusher.schedule: period must be positive";
+  every ~period (fun () -> flush t)

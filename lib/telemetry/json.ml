@@ -1,0 +1,281 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- Emission ---- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* Shortest representation that round-trips a double. *)
+    let s = Printf.sprintf "%.17g" f in
+    if float_of_string s = f then
+      let shorter = Printf.sprintf "%.12g" f in
+      if float_of_string shorter = f then shorter else s
+    else s
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  emit buf json;
+  Buffer.contents buf
+
+(* ---- Parsing (recursive descent over the full JSON grammar) ---- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let fail p msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let skip_ws p =
+  while
+    p.pos < String.length p.src
+    &&
+    match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some d when d = c -> p.pos <- p.pos + 1
+  | _ -> fail p (Printf.sprintf "expected '%c'" c)
+
+let parse_literal p lit value =
+  if
+    p.pos + String.length lit <= String.length p.src
+    && String.sub p.src p.pos (String.length lit) = lit
+  then begin
+    p.pos <- p.pos + String.length lit;
+    value
+  end
+  else fail p (Printf.sprintf "expected %s" lit)
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Parse_error "bad hex digit")
+
+let parse_string_body p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> p.pos <- p.pos + 1
+    | Some '\\' -> (
+        p.pos <- p.pos + 1;
+        match peek p with
+        | None -> fail p "unterminated escape"
+        | Some c ->
+            p.pos <- p.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if p.pos + 4 > String.length p.src then
+                  fail p "truncated \\u escape";
+                let code =
+                  (hex_digit p.src.[p.pos] lsl 12)
+                  lor (hex_digit p.src.[p.pos + 1] lsl 8)
+                  lor (hex_digit p.src.[p.pos + 2] lsl 4)
+                  lor hex_digit p.src.[p.pos + 3]
+                in
+                p.pos <- p.pos + 4;
+                (* UTF-8 encode the code point (BMP only; surrogate
+                   pairs are not emitted by this library). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> fail p (Printf.sprintf "bad escape '\\%c'" c));
+            loop ())
+    | Some c ->
+        p.pos <- p.pos + 1;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_float = ref false in
+  let advance_while cond =
+    while
+      p.pos < String.length p.src && cond p.src.[p.pos]
+    do
+      p.pos <- p.pos + 1
+    done
+  in
+  if peek p = Some '-' then p.pos <- p.pos + 1;
+  advance_while (function '0' .. '9' -> true | _ -> false);
+  if peek p = Some '.' then begin
+    is_float := true;
+    p.pos <- p.pos + 1;
+    advance_while (function '0' .. '9' -> true | _ -> false)
+  end;
+  (match peek p with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      p.pos <- p.pos + 1;
+      (match peek p with
+      | Some ('+' | '-') -> p.pos <- p.pos + 1
+      | _ -> ());
+      advance_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub p.src start (p.pos - start) in
+  if text = "" || text = "-" then fail p "bad number";
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' -> String (parse_string_body p)
+  | Some '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail p "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              p.pos <- p.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail p "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some _ -> parse_number p
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | json ->
+      skip_ws p;
+      if p.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+      else Ok json
+  | exception Parse_error msg -> Error msg
+
+(* ---- Accessors ---- *)
+
+let member json key =
+  match json with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list_opt = function List xs -> Some xs | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None

@@ -1,0 +1,38 @@
+(** A minimal self-contained JSON representation with an emitter and a
+    full-grammar parser.
+
+    Used by the telemetry exporters (metric snapshots, Chrome
+    [trace_event] files, bench result files) and by tests to verify that
+    exported documents are valid JSON and round-trip their payloads. No
+    external dependency (the container must not grow any). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite floats render as
+    [null]; finite floats use the shortest representation that
+    round-trips the double. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Numbers without [.]/[e] that fit an
+    OCaml [int] parse as [Int], everything else as [Float]. *)
+
+(** {2 Accessors} *)
+
+val member : t -> string -> t option
+(** [member (Obj kvs) key] is the first binding of [key]. [None] on
+    non-objects. *)
+
+val to_list_opt : t -> t list option
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

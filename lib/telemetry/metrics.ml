@@ -1,0 +1,242 @@
+(* The typed metric registry. Handles are registered once (at module or
+   object creation time) and updated on hot paths; every update is O(1)
+   and starts with a single branch on the registry's enabled flag, so a
+   disabled registry costs one load+test per instrumentation point. *)
+
+type key = { k_subsystem : string; k_name : string; k_label : string }
+
+type registry = {
+  mutable on : bool;
+  entries : (key, entry) Hashtbl.t;
+}
+
+and entry = { key : key; data : data }
+
+and data = C of counter | G of gauge | H of histogram
+
+and counter = { c_reg : registry; mutable c_value : int }
+
+and gauge = {
+  g_reg : registry;
+  mutable g_value : float;
+  mutable g_max : float;
+}
+
+and histogram = {
+  h_reg : registry;
+  h_buckets : int array; (* h_buckets.(i) counts values in [2^i, 2^(i+1)) *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let create ?(enabled = true) () = { on = enabled; entries = Hashtbl.create 64 }
+
+(* The process-wide registry every built-in instrumentation point uses.
+   Disabled by default: an uninstrumented run pays only the branch. *)
+let default = create ~enabled:false ()
+
+let set_enabled reg on = reg.on <- on
+let enabled reg = reg.on
+
+let bucket_count = 63
+
+let register reg ~subsystem ~name ~label make =
+  let key = { k_subsystem = subsystem; k_name = name; k_label = label } in
+  match Hashtbl.find_opt reg.entries key with
+  | Some entry -> entry.data
+  | None ->
+      let data = make () in
+      Hashtbl.replace reg.entries key { key; data };
+      data
+
+let kind_mismatch key =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s/%s[%s] already registered with another kind"
+       key.k_subsystem key.k_name key.k_label)
+
+let counter ?(registry = default) ~subsystem ~name ?(label = "") () =
+  match
+    register registry ~subsystem ~name ~label (fun () ->
+        C { c_reg = registry; c_value = 0 })
+  with
+  | C c -> c
+  | G _ | H _ ->
+      kind_mismatch { k_subsystem = subsystem; k_name = name; k_label = label }
+
+let gauge ?(registry = default) ~subsystem ~name ?(label = "") () =
+  match
+    register registry ~subsystem ~name ~label (fun () ->
+        G { g_reg = registry; g_value = 0.0; g_max = neg_infinity })
+  with
+  | G g -> g
+  | C _ | H _ ->
+      kind_mismatch { k_subsystem = subsystem; k_name = name; k_label = label }
+
+let histogram ?(registry = default) ~subsystem ~name ?(label = "") () =
+  match
+    register registry ~subsystem ~name ~label (fun () ->
+        H
+          {
+            h_reg = registry;
+            h_buckets = Array.make bucket_count 0;
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = 0;
+          })
+  with
+  | H h -> h
+  | C _ | G _ ->
+      kind_mismatch { k_subsystem = subsystem; k_name = name; k_label = label }
+
+module Counter = struct
+  let add c n = if c.c_reg.on then c.c_value <- c.c_value + n
+  let incr c = add c 1
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  let set g v =
+    if g.g_reg.on then begin
+      g.g_value <- v;
+      if v > g.g_max then g.g_max <- v
+    end
+
+  let set_int g v = if g.g_reg.on then set g (float_of_int v)
+  let value g = g.g_value
+  let max_value g = if g.g_max = neg_infinity then 0.0 else g.g_max
+end
+
+module Histogram = struct
+  (* Log2 bucketing: bucket 0 holds values <= 1, bucket i (i >= 1) holds
+     [2^i, 2^(i+1)). The loop runs at most 62 iterations, so updates are
+     O(1) with a small constant. *)
+  let bucket_index v =
+    if v <= 1 then 0
+    else begin
+      let i = ref 0 and v = ref v in
+      while !v > 1 do
+        v := !v lsr 1;
+        incr i
+      done;
+      !i
+    end
+
+  let bucket_lo i = if i = 0 then 0 else 1 lsl i
+  let bucket_hi i = (1 lsl (i + 1)) - 1
+
+  let observe h v =
+    if h.h_reg.on then begin
+      let v = if v < 0 then 0 else v in
+      let i = bucket_index v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let min_value h = if h.h_count = 0 then 0 else h.h_min
+  let max_value h = h.h_max
+
+  let mean h =
+    if h.h_count = 0 then 0.0
+    else float_of_int h.h_sum /. float_of_int h.h_count
+
+  (* Upper bound of the bucket where the cumulative count crosses q;
+     exact values are not retained, so this is a <= 2x estimate. *)
+  let quantile h q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+    if h.h_count = 0 then 0
+    else begin
+      let target = q *. float_of_int h.h_count in
+      let acc = ref 0 and result = ref (bucket_hi (bucket_count - 1)) in
+      (try
+         for i = 0 to bucket_count - 1 do
+           acc := !acc + h.h_buckets.(i);
+           if float_of_int !acc >= target then begin
+             result := Stdlib.min h.h_max (bucket_hi i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let nonzero_buckets h =
+    let out = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then
+        out := (bucket_lo i, bucket_hi i, h.h_buckets.(i)) :: !out
+    done;
+    !out
+end
+
+(* ---- Snapshots ---- *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of { value : float; max : float }
+  | Histogram_value of {
+      count : int;
+      sum : int;
+      min : int;
+      max : int;
+      buckets : (int * int * int) list;
+    }
+
+type snapshot = {
+  subsystem : string;
+  name : string;
+  label : string;
+  value : value;
+}
+
+let snapshot_entry entry =
+  let value =
+    match entry.data with
+    | C c -> Counter_value c.c_value
+    | G g -> Gauge_value { value = g.g_value; max = Gauge.max_value g }
+    | H h ->
+        Histogram_value
+          {
+            count = h.h_count;
+            sum = h.h_sum;
+            min = Histogram.min_value h;
+            max = h.h_max;
+            buckets = Histogram.nonzero_buckets h;
+          }
+  in
+  {
+    subsystem = entry.key.k_subsystem;
+    name = entry.key.k_name;
+    label = entry.key.k_label;
+    value;
+  }
+
+let snapshot reg =
+  Hashtbl.fold (fun _ entry acc -> snapshot_entry entry :: acc) reg.entries []
+  |> List.sort (fun a b ->
+         compare (a.subsystem, a.name, a.label) (b.subsystem, b.name, b.label))
+
+let reset reg =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry.data with
+      | C c -> c.c_value <- 0
+      | G g ->
+          g.g_value <- 0.0;
+          g.g_max <- neg_infinity
+      | H h ->
+          Array.fill h.h_buckets 0 bucket_count 0;
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- max_int;
+          h.h_max <- 0)
+    reg.entries
+
+let size reg = Hashtbl.length reg.entries

@@ -1,0 +1,17 @@
+(** Always-on observability for the Planck reproduction: a typed metric
+    registry ({!Metrics}), sim-time tracing with Chrome [trace_event]
+    export ({!Trace}), snapshot writers ({!Export}), periodic flushing
+    ({!Flusher}), and the self-contained JSON codec they share
+    ({!Json}).
+
+    Instrumentation is compiled into the simulator's hot paths but
+    guarded by per-registry enabled flags that default to off, so an
+    uninstrumented run pays one branch per tracepoint. Experiments and
+    the CLI/bench [--metrics-out] / [--trace-out] flags flip the
+    process-wide {!Metrics.default} / {!Trace.default} on. *)
+
+module Json = Json
+module Metrics = Metrics
+module Trace = Trace
+module Export = Export
+module Flusher = Flusher

@@ -1,0 +1,127 @@
+module Time = Planck_util.Time
+module Ring = Planck_util.Ring
+
+type phase = Span_begin | Span_end | Instant
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type event = {
+  ts : Time.t;
+  cat : string;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t = {
+  mutable on : bool;
+  ring : event Ring.t;
+  mutable evicted : int;
+}
+
+let create ?(capacity = 32768) ?(enabled = true) () =
+  { on = enabled; ring = Ring.create ~capacity; evicted = 0 }
+
+(* The process-wide trace every built-in tracepoint records into.
+   Disabled by default, like Metrics.default. *)
+let default = create ~enabled:false ()
+
+let set_enabled t on = t.on <- on
+let enabled t = t.on
+
+(* Bounded: when full, evict the oldest record so a long run keeps its
+   most recent window (same policy as the collector's vantage ring). *)
+let record t ev =
+  if t.on then begin
+    if Ring.is_full t.ring then begin
+      ignore (Ring.pop t.ring);
+      t.evicted <- t.evicted + 1
+    end;
+    ignore (Ring.push t.ring ev)
+  end
+
+let instant t ~now ~cat ~name ?(args = []) () =
+  record t { ts = now; cat; name; phase = Instant; args }
+
+let span_begin t ~now ~cat ~name ?(args = []) () =
+  record t { ts = now; cat; name; phase = Span_begin; args }
+
+let span_end t ~now ~cat ~name ?(args = []) () =
+  record t { ts = now; cat; name; phase = Span_end; args }
+
+let with_span t ~clock ~cat ~name ?(args = []) f =
+  if not t.on then f ()
+  else begin
+    span_begin t ~now:(clock ()) ~cat ~name ~args ();
+    Fun.protect
+      ~finally:(fun () -> span_end t ~now:(clock ()) ~cat ~name ())
+      f
+  end
+
+let events t = Ring.to_list t.ring
+let length t = Ring.length t.ring
+let capacity t = Ring.capacity t.ring
+let evicted t = t.evicted
+
+let clear t =
+  Ring.clear t.ring;
+  t.evicted <- 0
+
+(* ---- Chrome trace_event export ---- *)
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let ph_of_phase = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+
+(* trace_event timestamps are microseconds as doubles; integer
+   nanoseconds up to ~104 days stay exact after /1000 in a double, so
+   ts round-trips through the JSON (tests rely on this). *)
+let json_of_event ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String ev.cat);
+      ("ph", Json.String (ph_of_phase ev.phase));
+      ("ts", Json.Float (float_of_int ev.ts /. 1000.0));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int 0);
+    ]
+  in
+  let scope =
+    (* Instant events carry a scope; "g" (global) renders as a full
+       vertical line in the viewer. *)
+    match ev.phase with Instant -> [ ("s", Json.String "g") ] | _ -> []
+  in
+  let args =
+    match ev.args with
+    | [] -> []
+    | args ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let to_chrome_json t =
+  (* Spans recorded after the fact (e.g. a begin stamped with an earlier
+     detection time) may be out of order in the ring; the viewer wants
+     ascending timestamps, and a stable sort keeps begin-before-end for
+     equal stamps. *)
+  let evs =
+    List.stable_sort (fun a b -> compare a.ts b.ts) (events t)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map json_of_event evs));
+         ("displayTimeUnit", Json.String "ns");
+       ])

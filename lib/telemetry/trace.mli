@@ -1,0 +1,106 @@
+(** Sim-time tracing: a bounded ring of timestamped events exportable as
+    a Chrome [trace_event] JSON file, so a run can be opened in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Timestamps are the caller's responsibility ([~now], normally
+    [Engine.now]); this keeps the library independent of the simulator
+    and lets instrumentation stamp events retroactively — the TE app
+    records its detection-to-response span by opening it at the
+    congestion event's detection time from inside the (later) controller
+    handler. The exporter sorts by timestamp, so out-of-order recording
+    is fine.
+
+    Like {!Metrics}, the process-wide {!default} trace starts disabled
+    and every record call is a single branch when off. When the ring
+    fills, the oldest record is evicted so long runs keep their most
+    recent window. *)
+
+type phase = Span_begin | Span_end | Instant
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type event = {
+  ts : Planck_util.Time.t;
+  cat : string;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** Defaults: 32768-event ring, enabled. *)
+
+val default : t
+(** The process-wide trace. Starts disabled. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+(** {2 Recording} *)
+
+val instant :
+  t ->
+  now:Planck_util.Time.t ->
+  cat:string ->
+  name:string ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+val span_begin :
+  t ->
+  now:Planck_util.Time.t ->
+  cat:string ->
+  name:string ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+val span_end :
+  t ->
+  now:Planck_util.Time.t ->
+  cat:string ->
+  name:string ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+(** Spans pair a [span_begin]/[span_end] with the same [cat]/[name];
+    the two stamps may come from different simulated times (that is the
+    point). *)
+
+val with_span :
+  t ->
+  clock:(unit -> Planck_util.Time.t) ->
+  cat:string ->
+  name:string ->
+  ?args:(string * arg) list ->
+  (unit -> 'a) ->
+  'a
+(** Scoped span: stamps begin/end with [clock ()] (normally
+    [fun () -> Engine.now engine]) around the callback, ending the span
+    even if it raises. *)
+
+(** {2 Inspection} *)
+
+val events : t -> event list
+(** Oldest first, in recording order. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val evicted : t -> int
+(** Events dropped (oldest-first) because the ring was full. *)
+
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** The ring as a Chrome [trace_event] JSON document
+    ([{"traceEvents": [...]}]), events sorted by timestamp.
+    [ts] fields are microseconds; integer-nanosecond stamps divide by
+    1000 exactly in a double, so they round-trip. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "planck"
     [
       ("util", Test_util.tests);
+      ("telemetry", Test_telemetry.tests);
       ("packet", Test_packet.tests);
       ("netsim", Test_netsim.tests);
       ("tcp", Test_tcp.tests);

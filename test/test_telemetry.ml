@@ -1,0 +1,434 @@
+(* Tests for Planck_telemetry: the metric registry, sim-time trace ring,
+   JSON codec, exporters, and the flusher, plus the engine wiring into
+   the process-wide default registry. *)
+
+module Time = Planck_util.Time
+module Json = Planck_telemetry.Json
+module Metrics = Planck_telemetry.Metrics
+module Trace = Planck_telemetry.Trace
+module Export = Planck_telemetry.Export
+module Flusher = Planck_telemetry.Flusher
+module Engine = Planck_netsim.Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- registry ---- *)
+
+let registry_counters_gauges () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "counter value" 42 (Metrics.Counter.value c);
+  let g = Metrics.gauge ~registry:reg ~subsystem:"t" ~name:"g" () in
+  Metrics.Gauge.set g 3.5;
+  Metrics.Gauge.set g 1.0;
+  check_float "gauge last value" 1.0 (Metrics.Gauge.value g);
+  check_float "gauge high-water" 3.5 (Metrics.Gauge.max_value g);
+  Metrics.Gauge.set_int g 7;
+  check_float "set_int" 7.0 (Metrics.Gauge.value g);
+  check_float "set_int high-water" 7.0 (Metrics.Gauge.max_value g);
+  Alcotest.(check int) "size" 2 (Metrics.size reg)
+
+let registry_idempotent_registration () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter ~registry:reg ~subsystem:"s" ~name:"n" () in
+  let b = Metrics.counter ~registry:reg ~subsystem:"s" ~name:"n" () in
+  Metrics.Counter.incr a;
+  Metrics.Counter.incr b;
+  Alcotest.(check int) "same handle" 2 (Metrics.Counter.value a);
+  Alcotest.(check int) "still one metric" 1 (Metrics.size reg);
+  (* Distinct labels are distinct metrics. *)
+  let l = Metrics.counter ~registry:reg ~subsystem:"s" ~name:"n" ~label:"x" () in
+  Metrics.Counter.incr l;
+  Alcotest.(check int) "labelled is separate" 1 (Metrics.Counter.value l);
+  Alcotest.(check int) "two metrics" 2 (Metrics.size reg);
+  (* Re-registering the key as a different kind is a bug in the caller. *)
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge ~registry:reg ~subsystem:"s" ~name:"n" ());
+       false
+     with Invalid_argument _ -> true)
+
+let registry_disabled_is_noop () =
+  let reg = Metrics.create ~enabled:false () in
+  let c = Metrics.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  let g = Metrics.gauge ~registry:reg ~subsystem:"t" ~name:"g" () in
+  let h = Metrics.histogram ~registry:reg ~subsystem:"t" ~name:"h" () in
+  Metrics.Counter.incr c;
+  Metrics.Gauge.set g 9.0;
+  Metrics.Histogram.observe h 100;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.Counter.value c);
+  check_float "gauge untouched" 0.0 (Metrics.Gauge.max_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.Histogram.count h);
+  (* Flipping it on makes the same handles live. *)
+  Metrics.set_enabled reg true;
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "enabled counts" 1 (Metrics.Counter.value c)
+
+let registry_snapshot_deterministic () =
+  (* Same metrics registered in different orders must snapshot
+     identically: sorted by (subsystem, name, label). *)
+  let build order =
+    let reg = Metrics.create () in
+    List.iter
+      (fun (sub, name, label, v) ->
+        let c =
+          Metrics.counter ~registry:reg ~subsystem:sub ~name ?label ()
+        in
+        Metrics.Counter.add c v)
+      order;
+    List.map
+      (fun s -> (s.Metrics.subsystem, s.Metrics.name, s.Metrics.label))
+      (Metrics.snapshot reg)
+  in
+  let a =
+    build
+      [
+        ("z", "n", None, 1);
+        ("a", "n", Some "l2", 2);
+        ("a", "n", Some "l1", 3);
+        ("a", "m", None, 4);
+      ]
+  in
+  let b =
+    build
+      [
+        ("a", "m", None, 4);
+        ("a", "n", Some "l1", 3);
+        ("a", "n", Some "l2", 2);
+        ("z", "n", None, 1);
+      ]
+  in
+  Alcotest.(check (list (triple string string string)))
+    "order-independent" a b;
+  Alcotest.(check (list (triple string string string)))
+    "sorted"
+    [ ("a", "m", ""); ("a", "n", "l1"); ("a", "n", "l2"); ("z", "n", "") ]
+    a
+
+let registry_reset () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  let h = Metrics.histogram ~registry:reg ~subsystem:"t" ~name:"h" () in
+  Metrics.Counter.add c 5;
+  Metrics.Histogram.observe h 10;
+  Metrics.reset reg;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.Counter.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.Histogram.count h);
+  Alcotest.(check int) "handles survive" 2 (Metrics.size reg);
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "handle still live" 1 (Metrics.Counter.value c)
+
+(* ---- histogram bucketing ---- *)
+
+let histogram_bucket_boundaries () =
+  let idx = Metrics.Histogram.bucket_index in
+  Alcotest.(check int) "0 -> bucket 0" 0 (idx 0);
+  Alcotest.(check int) "1 -> bucket 0" 0 (idx 1);
+  Alcotest.(check int) "2 -> bucket 1" 1 (idx 2);
+  Alcotest.(check int) "3 -> bucket 1" 1 (idx 3);
+  Alcotest.(check int) "4 -> bucket 2" 2 (idx 4);
+  Alcotest.(check int) "2^10 -> bucket 10" 10 (idx 1024);
+  Alcotest.(check int) "2^10 - 1 -> bucket 9" 9 (idx 1023);
+  Alcotest.(check int) "negative clamps to 0" 0 (idx (-5));
+  (* Every power of two starts its own bucket; the previous value ends
+     the bucket below. *)
+  for i = 1 to 60 do
+    let lo = Metrics.Histogram.bucket_lo i
+    and hi = Metrics.Histogram.bucket_hi i in
+    Alcotest.(check int) "lo lands in bucket" i (idx lo);
+    Alcotest.(check int) "hi lands in bucket" i (idx hi);
+    Alcotest.(check int) "hi+1 overflows to next" (i + 1) (idx (hi + 1))
+  done
+
+let histogram_observations () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~subsystem:"t" ~name:"h" () in
+  List.iter (Metrics.Histogram.observe h) [ 1; 100; 1000; 10_000 ];
+  Alcotest.(check int) "count" 4 (Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 11_101 (Metrics.Histogram.sum h);
+  Alcotest.(check int) "min" 1 (Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max" 10_000 (Metrics.Histogram.max_value h);
+  check_float "mean" 2775.25 (Metrics.Histogram.mean h);
+  (* Quantiles are bucket upper bounds, capped at the observed max. *)
+  Alcotest.(check int) "q1.0 capped at max" 10_000
+    (Metrics.Histogram.quantile h 1.0);
+  let q50 = Metrics.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "q0.5 within 2x of 100" true (q50 >= 100 && q50 < 256)
+
+(* ---- trace ring ---- *)
+
+let trace_bounded_eviction () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.instant t ~now:(Time.ns i) ~cat:"c" ~name:(string_of_int i) ()
+  done;
+  Alcotest.(check int) "length bounded" 4 (Trace.length t);
+  Alcotest.(check int) "capacity" 4 (Trace.capacity t);
+  Alcotest.(check int) "evicted counted" 6 (Trace.evicted t);
+  Alcotest.(check (list string))
+    "keeps the newest window" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.name) (Trace.events t));
+  Trace.clear t;
+  Alcotest.(check int) "clear empties" 0 (Trace.length t)
+
+let trace_disabled_and_spans () =
+  let t = Trace.create ~enabled:false () in
+  Trace.instant t ~now:(Time.ns 1) ~cat:"c" ~name:"x" ();
+  Alcotest.(check int) "disabled records nothing" 0 (Trace.length t);
+  Trace.set_enabled t true;
+  let clock = ref (Time.us 5) in
+  let result =
+    Trace.with_span t
+      ~clock:(fun () -> !clock)
+      ~cat:"c" ~name:"work"
+      (fun () ->
+        clock := Time.us 9;
+        17)
+  in
+  Alcotest.(check int) "with_span passes result" 17 result;
+  (match Trace.events t with
+  | [ b; e ] ->
+      Alcotest.(check bool) "begin phase" true (b.Trace.phase = Trace.Span_begin);
+      Alcotest.(check bool) "end phase" true (e.Trace.phase = Trace.Span_end);
+      Alcotest.(check int) "begin ts" (Time.us 5) b.Trace.ts;
+      Alcotest.(check int) "end ts" (Time.us 9) e.Trace.ts
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  (* The span closes even when the body raises. *)
+  Trace.clear t;
+  (try
+     Trace.with_span t
+       ~clock:(fun () -> Time.us 1)
+       ~cat:"c" ~name:"boom"
+       (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 2 (Trace.length t)
+
+(* ---- JSON codec ---- *)
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t\xe2\x82\xac");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "" ]);
+        ("o", Json.Obj [ ("k", Json.Int 0) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok parsed ->
+      Alcotest.(check bool) "round-trips" true (parsed = doc);
+      Alcotest.(check (option string))
+        "member access" (Some "a\"b\\c\n\t\xe2\x82\xac")
+        (Option.bind (Json.member parsed "s") Json.to_string_opt)
+
+let json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+(* ---- Chrome trace export ---- *)
+
+let chrome_json_valid_and_roundtrips () =
+  let t = Trace.create () in
+  (* Deliberately record out of timestamp order: the TE app stamps its
+     detection time retroactively, and the exporter must sort. *)
+  Trace.span_end t ~now:(Time.us 300) ~cat:"te" ~name:"loop" ();
+  Trace.span_begin t
+    ~now:(Time.us 100)
+    ~cat:"te" ~name:"loop"
+    ~args:[ ("switch", Trace.Int 3) ]
+    ();
+  Trace.instant t ~now:(Time.us 200) ~cat:"col" ~name:"hit" ();
+  let json = Trace.to_chrome_json t in
+  match Json.of_string json with
+  | Error e -> Alcotest.failf "chrome JSON invalid: %s" e
+  | Ok doc -> (
+      match Option.bind (Json.member doc "traceEvents") Json.to_list_opt with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some events ->
+          Alcotest.(check int) "3 events" 3 (List.length events);
+          let ts_of e =
+            match Option.bind (Json.member e "ts") Json.to_float_opt with
+            | Some ts -> ts
+            | None -> Alcotest.fail "event without ts"
+          in
+          let phase_of e =
+            Option.value ~default:"?"
+              (Option.bind (Json.member e "ph") Json.to_string_opt)
+          in
+          (* Sorted by timestamp (microseconds), despite recording order. *)
+          Alcotest.(check (list (pair string (float 1e-9))))
+            "sorted ts in us"
+            [ ("B", 100.0); ("i", 200.0); ("E", 300.0) ]
+            (List.map (fun e -> (phase_of e, ts_of e)) events))
+
+let chrome_ts_roundtrip_exact () =
+  (* Integer-nanosecond stamps written as microsecond doubles must
+     round-trip exactly through print-and-parse for realistic sim
+     times. *)
+  let t = Trace.create ~capacity:2048 () in
+  let stamps =
+    List.init 1000 (fun i -> (i * i * 977) + (i * 13) + (i mod 7))
+  in
+  List.iter
+    (fun ns -> Trace.instant t ~now:ns ~cat:"c" ~name:"x" ())
+    stamps;
+  match Json.of_string (Trace.to_chrome_json t) with
+  | Error e -> Alcotest.failf "invalid: %s" e
+  | Ok doc ->
+      let events =
+        Option.get (Option.bind (Json.member doc "traceEvents") Json.to_list_opt)
+      in
+      let got =
+        List.map
+          (fun e ->
+            let us =
+              Option.get (Option.bind (Json.member e "ts") Json.to_float_opt)
+            in
+            int_of_float (Float.round (us *. 1000.0)))
+          events
+      in
+      Alcotest.(check (list int))
+        "every stamp recovered to the nanosecond"
+        (List.sort compare stamps)
+        got
+
+(* ---- exporters ---- *)
+
+let export_shapes () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add
+    (Metrics.counter ~registry:reg ~subsystem:"a" ~name:"c" ~label:"l" ())
+    3;
+  Metrics.Gauge.set (Metrics.gauge ~registry:reg ~subsystem:"a" ~name:"g" ()) 2.5;
+  Metrics.Histogram.observe
+    (Metrics.histogram ~registry:reg ~subsystem:"b" ~name:"h" ())
+    100;
+  (match Json.of_string (Export.metrics_json reg) with
+  | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+  | Ok doc -> (
+      match Option.bind (Json.member doc "metrics") Json.to_list_opt with
+      | None -> Alcotest.fail "no metrics array"
+      | Some rows ->
+          Alcotest.(check int) "3 rows" 3 (List.length rows);
+          let kinds =
+            List.map
+              (fun r ->
+                Option.value ~default:"?"
+                  (Option.bind (Json.member r "kind") Json.to_string_opt))
+              rows
+          in
+          Alcotest.(check (list string))
+            "kinds in sorted key order"
+            [ "counter"; "gauge"; "histogram" ]
+            kinds));
+  let csv = Export.metrics_csv reg in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
+  Alcotest.(check string) "csv header"
+    "subsystem,name,label,kind,value,count,sum,min,max" (List.hd lines);
+  Alcotest.(check bool) "counter row" true
+    (List.exists (fun l -> l = "a,c,l,counter,3,,,,") lines)
+
+let flusher_writes_and_schedules () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~subsystem:"f" ~name:"c" () in
+  Metrics.Counter.add c 7;
+  let path = Filename.temp_file "planck_metrics" ".json" in
+  let fl = Flusher.create ~registry:reg ~outputs:[ Flusher.Metrics_json path ] () in
+  (* Drive it from a real engine through the scheduler capability. *)
+  let engine = Engine.create () in
+  Flusher.schedule fl ~period:(Time.ms 1)
+    ~every:(fun ~period f -> Engine.every engine ~period f);
+  Engine.run ~until:(Time.ms 5) engine;
+  Alcotest.(check int) "flushed once per period" 5 (Flusher.flushes fl);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  (match Json.of_string contents with
+  | Error e -> Alcotest.failf "flushed file invalid: %s" e
+  | Ok _ -> ());
+  Alcotest.check_raises "non-positive period rejected"
+    (Invalid_argument "Flusher.schedule: period must be positive") (fun () ->
+      Flusher.schedule fl ~period:0 ~every:(fun ~period:_ _ -> ()))
+
+(* ---- engine wiring into the default registry ---- *)
+
+let engine_default_registry () =
+  (* The engine's instrumentation writes to Metrics.default, which is
+     disabled by default; flip it on, run a small sim, and check the
+     counters agree with the engine's own introspection. *)
+  let was = Metrics.enabled Metrics.default in
+  Metrics.set_enabled Metrics.default true;
+  Metrics.reset Metrics.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset Metrics.default;
+      Metrics.set_enabled Metrics.default was)
+    (fun () ->
+      let engine = Engine.create () in
+      let fired = ref 0 in
+      for i = 1 to 10 do
+        Engine.schedule engine ~delay:(Time.us i) (fun () -> incr fired)
+      done;
+      Engine.run engine;
+      Alcotest.(check int) "all fired" 10 !fired;
+      Alcotest.(check int) "events_processed" 10
+        (Engine.events_processed engine);
+      Alcotest.(check int) "max_pending high-water" 10
+        (Engine.max_pending engine);
+      Alcotest.(check int) "pending drained" 0 (Engine.pending engine);
+      let c =
+        Metrics.counter ~subsystem:"engine" ~name:"events_processed" ()
+      in
+      Alcotest.(check int) "default-registry counter tracks engine" 10
+        (Metrics.Counter.value c);
+      let g =
+        Metrics.gauge ~subsystem:"engine" ~name:"pending_high_water" ()
+      in
+      check_float "default-registry gauge high-water" 10.0
+        (Metrics.Gauge.max_value g))
+
+let tests =
+  [
+    Alcotest.test_case "registry counters and gauges" `Quick
+      registry_counters_gauges;
+    Alcotest.test_case "registration is idempotent" `Quick
+      registry_idempotent_registration;
+    Alcotest.test_case "disabled registry is a no-op" `Quick
+      registry_disabled_is_noop;
+    Alcotest.test_case "snapshot is deterministic" `Quick
+      registry_snapshot_deterministic;
+    Alcotest.test_case "reset keeps handles live" `Quick registry_reset;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      histogram_bucket_boundaries;
+    Alcotest.test_case "histogram observations" `Quick histogram_observations;
+    Alcotest.test_case "trace ring bounded eviction" `Quick
+      trace_bounded_eviction;
+    Alcotest.test_case "trace disabled flag and spans" `Quick
+      trace_disabled_and_spans;
+    Alcotest.test_case "json round-trip" `Quick json_roundtrip;
+    Alcotest.test_case "json rejects malformed input" `Quick
+      json_rejects_malformed;
+    Alcotest.test_case "chrome trace valid and sorted" `Quick
+      chrome_json_valid_and_roundtrips;
+    Alcotest.test_case "chrome ts round-trips exactly" `Quick
+      chrome_ts_roundtrip_exact;
+    Alcotest.test_case "export shapes (json + csv)" `Quick export_shapes;
+    Alcotest.test_case "flusher writes and schedules" `Quick
+      flusher_writes_and_schedules;
+    Alcotest.test_case "engine feeds the default registry" `Quick
+      engine_default_registry;
+  ]

@@ -74,6 +74,51 @@ let ring_fifo () =
   Alcotest.(check (list int)) "batch" [ 2; 3 ] (Ring.pop_batch r ~max:2);
   Alcotest.(check int) "length" 1 (Ring.length r)
 
+let ring_wraparound () =
+  (* Interleaved push/pop forces the head index to lap the backing
+     array several times; FIFO order must survive each wrap. *)
+  let r = Ring.create ~capacity:4 in
+  let next = ref 0 and expect = ref 0 in
+  for _round = 1 to 10 do
+    for _ = 1 to 3 do
+      Alcotest.(check bool) "push accepted" true (Ring.push r !next);
+      incr next
+    done;
+    for _ = 1 to 3 do
+      Alcotest.(check (option int)) "FIFO across wrap" (Some !expect)
+        (Ring.pop r);
+      incr expect
+    done
+  done;
+  Alcotest.(check int) "empty after rounds" 0 (Ring.length r);
+  Alcotest.(check int) "no drops when never full" 0 (Ring.drops r)
+
+let ring_drop_accounting () =
+  let r = Ring.create ~capacity:2 in
+  ignore (Ring.push r 1);
+  ignore (Ring.push r 2);
+  Alcotest.(check bool) "drop 1" false (Ring.push r 3);
+  Alcotest.(check bool) "drop 2" false (Ring.push r 4);
+  Alcotest.(check int) "two drops counted" 2 (Ring.drops r);
+  ignore (Ring.pop r);
+  Alcotest.(check bool) "accepted after pop" true (Ring.push r 5);
+  Alcotest.(check int) "drops persist across pops" 2 (Ring.drops r);
+  Ring.clear r;
+  Alcotest.(check int) "drops survive clear" 2 (Ring.drops r);
+  Alcotest.(check (list int)) "cleared contents" [] (Ring.to_list r)
+
+let ring_pop_batch_partial () =
+  let r = Ring.create ~capacity:8 in
+  List.iter (fun v -> ignore (Ring.push r v)) [ 10; 20; 30 ];
+  Alcotest.(check (list int))
+    "max larger than length drains all" [ 10; 20; 30 ]
+    (Ring.pop_batch r ~max:100);
+  Alcotest.(check (list int)) "batch on empty" [] (Ring.pop_batch r ~max:4);
+  List.iter (fun v -> ignore (Ring.push r v)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "partial drain" [ 1; 2 ] (Ring.pop_batch r ~max:2);
+  Alcotest.(check int) "remainder stays" 3 (Ring.length r);
+  Alcotest.(check (list int)) "zero max" [] (Ring.pop_batch r ~max:0)
+
 let ring_qcheck =
   QCheck.Test.make ~name:"ring preserves FIFO order under mixed ops"
     ~count:200
@@ -165,6 +210,46 @@ let stats_mre () =
   check_float "10 percent" 0.1
     (Stats.mean_relative_error ~truth:[ 10.0 ] ~estimate:[ 11.0 ])
 
+let stats_percentile_interpolation () =
+  (* Linear interpolation between closest ranks: with [10;20;30;40],
+     p25 sits 3/4 of the way from 10 to 20. *)
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p25 interpolates" 17.5 (Stats.percentile 25.0 xs);
+  check_float "p50 interpolates" 25.0 (Stats.percentile 50.0 xs);
+  check_float "p0 is min" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100 is max" 40.0 (Stats.percentile 100.0 xs);
+  check_float "singleton any p" 7.0 (Stats.percentile 63.0 [ 7.0 ]);
+  Alcotest.check_raises "p > 100 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 101.0 xs));
+  Alcotest.check_raises "p < 0 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile (-1.0) xs))
+
+let stats_histogram_degenerate () =
+  (* All-equal samples: lo = hi, so the bin width falls back to 1.0 and
+     everything lands in bucket 0. *)
+  let h = Stats.histogram ~bins:4 [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "bins" 4 (Array.length h);
+  check_float "first edge is the value" 5.0 (fst h.(0));
+  Alcotest.(check int) "all in first bin" 3 (snd h.(0));
+  Alcotest.(check int) "rest empty" 0 (snd h.(1) + snd h.(2) + snd h.(3));
+  let empty = Stats.histogram ~bins:3 [] in
+  Alcotest.(check int) "empty input keeps bins" 3 (Array.length empty);
+  Alcotest.(check int) "empty input zero counts" 0
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 empty)
+
+let stats_mre_zero_truth () =
+  (* Pairs whose truth is 0 are skipped, not divided by. *)
+  check_float "zero-truth pair skipped" 0.1
+    (Stats.mean_relative_error ~truth:[ 0.0; 10.0 ] ~estimate:[ 99.0; 11.0 ]);
+  Alcotest.(check bool) "all zero truth yields nan" true
+    (Float.is_nan
+       (Stats.mean_relative_error ~truth:[ 0.0; 0.0 ] ~estimate:[ 1.0; 2.0 ]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.mean_relative_error: length mismatch") (fun () ->
+      ignore (Stats.mean_relative_error ~truth:[ 1.0 ] ~estimate:[]))
+
 let percentile_qcheck =
   QCheck.Test.make ~name:"percentile is monotone and within bounds"
     ~count:200
@@ -225,6 +310,11 @@ let tests =
     Alcotest.test_case "heap FIFO tie-break" `Quick heap_fifo_ties;
     qtest heap_sorts_qcheck;
     Alcotest.test_case "ring FIFO and drops" `Quick ring_fifo;
+    Alcotest.test_case "ring wraparound under interleaved ops" `Quick
+      ring_wraparound;
+    Alcotest.test_case "ring drop accounting" `Quick ring_drop_accounting;
+    Alcotest.test_case "ring pop_batch partial drain" `Quick
+      ring_pop_batch_partial;
     qtest ring_qcheck;
     Alcotest.test_case "prng determinism" `Quick prng_deterministic;
     Alcotest.test_case "prng bounds" `Quick prng_bounds;
@@ -234,6 +324,12 @@ let tests =
     Alcotest.test_case "stats basics" `Quick stats_basic;
     Alcotest.test_case "stats cdf" `Quick stats_cdf;
     Alcotest.test_case "stats mean relative error" `Quick stats_mre;
+    Alcotest.test_case "stats percentile interpolation endpoints" `Quick
+      stats_percentile_interpolation;
+    Alcotest.test_case "stats histogram equal lo/hi" `Quick
+      stats_histogram_degenerate;
+    Alcotest.test_case "stats mre zero-truth filtering" `Quick
+      stats_mre_zero_truth;
     qtest percentile_qcheck;
     qtest online_matches_batch_qcheck;
     Alcotest.test_case "rate arithmetic" `Quick rate_roundtrip;
