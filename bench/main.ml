@@ -14,6 +14,9 @@ module Json = Planck_telemetry.Json
 module Metrics = Planck_telemetry.Metrics
 module Trace = Planck_telemetry.Trace
 module Export = Planck_telemetry.Export
+module Journal = Planck_telemetry.Journal
+module Timeseries = Planck_telemetry.Timeseries
+module Time = Planck.Util.Time
 
 let experiments : (string * string * (Exp_common.opts -> unit)) list =
   [
@@ -168,8 +171,30 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let journal_out =
+  let doc =
+    "Enable the flight-recorder journal and stream every event (drops, \
+     congestion, reroute stages, ...) across all selected experiments as \
+     NDJSON to $(docv); analyse with 'planck-cli inspect'."
+  in
+  Arg.(value & opt (some string) None & info [ "journal-out" ] ~docv:"FILE" ~doc)
+
+let timeseries_out =
+  let doc =
+    "Record ground-truth time-series (link utilization, buffers, true vs \
+     estimated flow rates) for each experiment run and write the last run's \
+     CSV to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "timeseries-out" ] ~docv:"FILE" ~doc)
+
+let timeseries_interval_us =
+  let doc = "Sampling interval for --timeseries-out, microseconds." in
+  Arg.(value & opt int 500 & info [ "timeseries-interval-us" ] ~docv:"US" ~doc)
+
 let main names runs full seed list_experiments with_micro json_path
-    metrics_path trace_path =
+    metrics_path trace_path journal_path timeseries_path
+    timeseries_interval_us =
   if list_experiments then begin
     List.iter
       (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
@@ -184,10 +209,47 @@ let main names runs full seed list_experiments with_micro json_path
            with Sys_error msg ->
              Printf.eprintf "planck-bench: cannot write %s\n" msg;
              exit 1))
-      [ json_path; metrics_path; trace_path ];
+      [ json_path; metrics_path; trace_path; journal_path; timeseries_path ];
     if json_path <> None || metrics_path <> None then
       Metrics.set_enabled Metrics.default true;
     if trace_path <> None then Trace.set_enabled Trace.default true;
+    if journal_path <> None then Journal.set_enabled Journal.default true;
+    (* Stream journal events as they record: experiments produce far more
+       than the in-memory ring holds, the NDJSON file is complete. *)
+    let journal_lines = ref 0 in
+    let journal_channel =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          Journal.set_writer Journal.default
+            (Some
+               (fun line ->
+                 incr journal_lines;
+                 output_string oc line;
+                 output_char oc '\n'));
+          oc)
+        journal_path
+    in
+    (* Ground truth hooks in through the experiment observer, since each
+       experiment run builds its testbed internally. Last run wins. *)
+    let last_recorder = ref None in
+    if timeseries_path <> None then
+      Planck.Experiment.set_observer
+        (Some
+           (fun testbed deployed ->
+             let estimate =
+               match deployed.Planck.Scheme.controller with
+               | Some controller ->
+                   Planck.Controller_lib.Controller.flow_rate controller
+               | None -> fun _ -> None
+             in
+             let recorder =
+               Planck.Recorder.create
+                 ~interval:(Time.us timeseries_interval_us)
+                 ~estimate testbed
+             in
+             last_recorder := Some recorder;
+             Some (fun flow -> Planck.Recorder.track_flow recorder flow)));
     let opts =
       {
         Exp_common.runs;
@@ -197,6 +259,29 @@ let main names runs full seed list_experiments with_micro json_path
       }
     in
     let timed, total = run_selected names opts with_micro in
+    Planck.Experiment.set_observer None;
+    (match journal_channel with
+    | Some oc ->
+        Journal.set_writer Journal.default None;
+        close_out oc;
+        Printf.printf "wrote %d journal events to %s\n%!" !journal_lines
+          (Option.get journal_path)
+    | None -> ());
+    Option.iter
+      (fun path ->
+        match !last_recorder with
+        | Some recorder ->
+            let ts = Planck.Recorder.timeseries recorder in
+            Export.write_file ~path (Timeseries.to_csv ts);
+            Printf.printf "wrote %d time-series rows (%d series) to %s\n%!"
+              (List.length (Timeseries.rows ts))
+              (List.length (Timeseries.names ts))
+              path
+        | None ->
+            Printf.printf
+              "no time-series recorded (no selected experiment ran a \
+               workload through the experiment harness)\n%!")
+      timeseries_path;
     Option.iter (fun path -> emit_json path timed total) json_path;
     Option.iter
       (fun path ->
@@ -225,6 +310,7 @@ let cmd =
     (Cmd.info "planck-bench" ~doc)
     Term.(
       const main $ names $ runs $ full $ seed $ list_flag $ micro_flag
-      $ json_out $ metrics_out $ trace_out)
+      $ json_out $ metrics_out $ trace_out $ journal_out $ timeseries_out
+      $ timeseries_interval_us)
 
 let () = exit (Cmd.eval cmd)

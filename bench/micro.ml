@@ -16,6 +16,7 @@ module Rate_estimator = Planck_collector.Rate_estimator
 module Engine = Planck_netsim.Engine
 module Switch = Planck_netsim.Switch
 module Metrics = Planck_telemetry.Metrics
+module Journal = Planck_telemetry.Journal
 
 let sample_packet =
   P.tcp ~src_mac:(Mac.host 1) ~dst_mac:(Mac.host 2) ~src_ip:(Ip.host 1)
@@ -102,6 +103,31 @@ let test_telemetry_enabled =
          Metrics.Counter.incr c;
          Metrics.Histogram.observe h !tick))
 
+(* Same guard as the journal's instrumentation sites: the event body is
+   only allocated behind [Journal.enabled], so a disabled journal costs
+   one branch per potential event. *)
+let test_journal_disabled =
+  let j = Journal.create ~enabled:false () in
+  let tick = ref 0 in
+  Test.make ~name:"journal disabled (guarded record, no-op)"
+    (Staged.stage (fun () ->
+         incr tick;
+         if Journal.enabled j then
+           Journal.record j ~ts:!tick
+             (Journal.Packet_drop
+                { switch = "bench"; port = 0; mirror = false })))
+
+let test_journal_enabled =
+  let j = Journal.create ~enabled:true ~capacity:4096 () in
+  let tick = ref 0 in
+  Test.make ~name:"journal enabled (record into ring)"
+    (Staged.stage (fun () ->
+         incr tick;
+         if Journal.enabled j then
+           Journal.record j ~ts:!tick
+             (Journal.Packet_drop
+                { switch = "bench"; port = 0; mirror = false })))
+
 let benchmarks =
   [
     test_serialize;
@@ -111,6 +137,8 @@ let benchmarks =
     test_switch_forward;
     test_telemetry_disabled;
     test_telemetry_enabled;
+    test_journal_disabled;
+    test_journal_enabled;
   ]
 
 let run () =

@@ -16,21 +16,29 @@ module Routing = Planck_topology.Routing
 module Collector = Planck_collector.Collector
 module Te = Planck_controller.Te
 module Reroute = Planck_controller.Reroute
+module Controller = Planck_controller.Controller
 module Poller = Planck_baselines.Poller
 module Metrics = Planck_telemetry.Metrics
 module Trace = Planck_telemetry.Trace
 module Export = Planck_telemetry.Export
 module Flusher = Planck_telemetry.Flusher
+module Journal = Planck_telemetry.Journal
+module Timeseries = Planck_telemetry.Timeseries
+module Inspect = Planck_telemetry.Inspect
+module Reporter = Planck_telemetry.Reporter
+module Stats = Planck_util.Stats
 open Planck
 
-(* ---- telemetry plumbing (--metrics-out / --trace-out) ---- *)
+(* ---- telemetry plumbing (--metrics-out / --trace-out / --journal-out /
+   --timeseries-out) ---- *)
 
-(* Passing either flag flips the process-wide registry/trace on for the
-   whole run; at exit the snapshots are written (the capture subcommand
-   additionally flushes periodically on the simulation clock). Each
-   output path is probed up front so a typo fails before the simulation
-   runs, not at the first flush. *)
-let telemetry_setup metrics_out trace_out =
+(* Passing any of these flags flips the corresponding process-wide
+   registry/trace/journal on for the whole run; at exit the snapshots
+   are written (the capture subcommand additionally flushes periodically
+   on the simulation clock; the journal streams NDJSON as it records).
+   Each output path is probed up front so a typo fails before the
+   simulation runs, not at the first flush. *)
+let telemetry_setup ?journal_out ?timeseries_out metrics_out trace_out =
   let probe = function
     | None -> true
     | Some path -> (
@@ -41,9 +49,13 @@ let telemetry_setup metrics_out trace_out =
           Printf.eprintf "planck-cli: cannot write %s\n" msg;
           false)
   in
-  if probe metrics_out && probe trace_out then begin
+  if
+    probe metrics_out && probe trace_out && probe journal_out
+    && probe timeseries_out
+  then begin
     if metrics_out <> None then Metrics.set_enabled Metrics.default true;
     if trace_out <> None then Trace.set_enabled Trace.default true;
+    if journal_out <> None then Journal.set_enabled Journal.default true;
     true
   end
   else false
@@ -114,7 +126,7 @@ let parse_workload = function
 
 let parse_scheme = function
   | "static" -> Ok (`Fabric Scheme.Static)
-  | "planck-te" -> Ok (`Fabric Scheme.planck_te_default)
+  | "planck-te" | "planck" -> Ok (`Fabric Scheme.planck_te_default)
   | "planck-te-openflow" ->
       Ok
         (`Fabric
@@ -127,21 +139,80 @@ let parse_scheme = function
   | s -> Error (Printf.sprintf "unknown scheme %s" s)
 
 let run_experiment () workload_name scheme_name size_mib runs seed csv
-    metrics_out trace_out =
+    metrics_out trace_out journal_out timeseries_out timeseries_interval_us =
   match (parse_workload workload_name, parse_scheme scheme_name) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-  | Ok workload, Ok scheme when telemetry_setup metrics_out trace_out ->
+  | Ok workload, Ok scheme
+    when telemetry_setup ?journal_out ?timeseries_out metrics_out trace_out
+    ->
       let spec, sch =
         match scheme with
         | `Fabric s -> (Testbed.paper_fat_tree ~seed (), s)
         | `Optimal -> (Testbed.optimal ~seed (), Scheme.Static)
       in
+      (* Stream journal events to disk as they happen: the in-memory
+         ring is only a bounded tail, the NDJSON file is complete. *)
+      let journal_lines = ref 0 in
+      let journal_channel =
+        Option.map
+          (fun path ->
+            let oc = open_out path in
+            Journal.set_writer Journal.default
+              (Some
+                 (fun line ->
+                   incr journal_lines;
+                   output_string oc line;
+                   output_char oc '\n'));
+            oc)
+          journal_out
+      in
+      (* Ground-truth recording needs the testbed each run builds
+         internally, so it hooks in through the experiment observer. *)
+      let last_recorder = ref None in
+      if timeseries_out <> None then
+        Experiment.set_observer
+          (Some
+             (fun testbed deployed ->
+               let estimate =
+                 match deployed.Scheme.controller with
+                 | Some controller -> Controller.flow_rate controller
+                 | None -> fun _ -> None
+               in
+               let recorder =
+                 Recorder.create
+                   ~interval:(Time.us timeseries_interval_us)
+                   ~estimate testbed
+               in
+               last_recorder := Some recorder;
+               Some (fun flow -> Recorder.track_flow recorder flow)));
       let summaries =
         Experiment.repeat ~runs ~spec ~scheme:sch ~workload
           ~size:(size_mib * 1024 * 1024) ~horizon:(Time.s 600) ()
       in
+      Experiment.set_observer None;
+      (match journal_channel with
+      | Some oc ->
+          Journal.set_writer Journal.default None;
+          close_out oc;
+          Printf.printf "wrote %d journal events to %s\n" !journal_lines
+            (Option.get journal_out)
+      | None -> ());
+      Option.iter
+        (fun path ->
+          match !last_recorder with
+          | Some recorder ->
+              let ts = Recorder.timeseries recorder in
+              Export.write_file ~path (Timeseries.to_csv ts);
+              Printf.printf
+                "wrote %d time-series rows (%d series%s) to %s\n"
+                (List.length (Timeseries.rows ts))
+                (List.length (Timeseries.names ts))
+                (if runs > 1 then ", last run" else "")
+                path
+          | None -> ())
+        timeseries_out;
       let header =
         [ "run"; "avg_gbps"; "reroutes"; "all_completed"; "flows" ]
       in
@@ -209,17 +280,197 @@ let capture output duration_ms seed metrics_out trace_out =
   0
   end
 
+(* ---- inspect subcommand ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fmt_stage = function
+  | None -> "-"
+  | Some t -> Printf.sprintf "%+.0fus" (Time.to_float_us t)
+
+let fmt_delta a b =
+  match (a, b) with Some a, Some b -> fmt_stage (Some (b - a)) | _ -> "-"
+
+(* Per-loop stage table: each stage column shows the delta from the
+   previous stage, [total] the detect->effective sum — the Fig 12/15
+   decomposition, one row per correlated reroute. *)
+let print_loops loops =
+  let rerouted, silent =
+    List.partition (fun (l : Inspect.loop) -> l.Inspect.flow <> None) loops
+  in
+  let header =
+    [ "corr"; "flow"; "detect"; "notify"; "decide"; "install"; "effective";
+      "total" ]
+  in
+  let rows =
+    List.map
+      (fun (l : Inspect.loop) ->
+        [
+          string_of_int l.Inspect.corr;
+          Option.value l.Inspect.flow ~default:"-";
+          Printf.sprintf "%.3fms" (Time.to_float_ms l.Inspect.detect);
+          fmt_delta (Some l.Inspect.detect) l.Inspect.notify;
+          fmt_delta l.Inspect.notify l.Inspect.decide;
+          fmt_delta l.Inspect.decide l.Inspect.install;
+          fmt_delta l.Inspect.install l.Inspect.effective;
+          (match Inspect.total l with
+          | Some t -> Printf.sprintf "%.3fms" (Time.to_float_ms t)
+          | None -> "incomplete");
+        ])
+      rerouted
+  in
+  if rows <> [] then Table.print ~header rows;
+  if silent <> [] then
+    Printf.printf
+      "(%d congestion detection(s) produced no reroute: cooldown, no better \
+       path, or flow already moved)\n"
+      (List.length silent)
+
+let print_percentiles loops =
+  let n = List.length (List.filter Inspect.complete loops) in
+  if n > 0 then begin
+    Printf.printf "\nstage percentiles over %d complete loop(s), ms:\n" n;
+    let header = [ "stage"; "p10"; "p50"; "p90" ] in
+    let rows =
+      List.filter_map
+        (fun (stage, ms) ->
+          if ms = [] then None
+          else
+            Some
+              [
+                stage;
+                Printf.sprintf "%.3f" (Stats.percentile 10.0 ms);
+                Printf.sprintf "%.3f" (Stats.percentile 50.0 ms);
+                Printf.sprintf "%.3f" (Stats.percentile 90.0 ms);
+              ])
+        (Inspect.stage_durations loops)
+    in
+    Table.print ~header rows
+  end
+
+let print_flaps events =
+  match Inspect.flap_counts events with
+  | [] -> ()
+  | flaps ->
+      let flapping = List.filter (fun (_, n) -> n > 1) flaps in
+      Printf.printf
+        "\nreroutes: %d decision(s) across %d flow(s); %d flow(s) flapped \
+         (>1 reroute)\n"
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 flaps)
+        (List.length flaps) (List.length flapping);
+      List.iter
+        (fun (flow, n) -> Printf.printf "  %-40s rerouted %d times\n" flow n)
+        flapping
+
+let print_estimate_errors names rows =
+  match Inspect.estimate_errors ~names ~rows with
+  | [] ->
+      print_endline
+        "\nno true:/est: flow columns in the time-series (run with \
+         --timeseries-out while a scheme with collectors is deployed)"
+  | errors ->
+      Printf.printf "\nestimate vs truth (mean relative error where true \
+                     rate > 0.05 Gbps):\n";
+      List.iter
+        (fun (flow, err) ->
+          Printf.printf "  %-40s %.1f%%\n" flow (100.0 *. err))
+        errors
+
+let print_phases events =
+  let phases =
+    List.filter_map
+      (fun (ev : Journal.event) ->
+        match ev.Journal.body with
+        | Journal.Phase_marker { name; detail } ->
+            Some (ev.Journal.ts, name, detail)
+        | _ -> None)
+      events
+  in
+  if phases <> [] then begin
+    print_endline "\nphases:";
+    List.iter
+      (fun (ts, name, detail) ->
+        Printf.printf "  %10.3fms %-12s %s\n" (Time.to_float_ms ts) name
+          detail)
+      phases
+  end
+
+let inspect () journal_path timeseries_path =
+  match Journal.of_ndjson (read_file journal_path) with
+  | exception Sys_error msg ->
+      Printf.eprintf "planck-cli: %s\n" msg;
+      1
+  | Error e ->
+      Printf.eprintf "planck-cli: %s: %s\n" journal_path e;
+      1
+  | Ok events ->
+      Printf.printf "journal: %d events from %s\n" (List.length events)
+        journal_path;
+      List.iter
+        (fun (name, n) -> Printf.printf "  %-20s %d\n" name n)
+        (Inspect.count_events events);
+      let loops = Inspect.loops events in
+      if loops = [] then
+        print_endline
+          "\nno correlated control loops (no congestion events recorded)"
+      else begin
+        Printf.printf
+          "\ncontrol loops (detect -> notify -> decide -> install -> \
+           effective):\n";
+        print_loops loops;
+        print_percentiles loops
+      end;
+      print_flaps events;
+      print_phases events;
+      (match timeseries_path with
+      | None -> ()
+      | Some path -> (
+          match Timeseries.of_csv (read_file path) with
+          | exception Sys_error msg -> Printf.eprintf "planck-cli: %s\n" msg
+          | Error e -> Printf.eprintf "planck-cli: %s: %s\n" path e
+          | Ok (names, rows) ->
+              Printf.printf "\ntime-series: %d rows x %d series from %s\n"
+                (List.length rows) (List.length names) path;
+              print_estimate_errors names rows));
+      0
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
 
-let setup_logs debug =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if debug then Some Logs.Debug else Some Logs.Warning)
+(* Shared Logs reporter: sim time + source prefix (satisfied by the
+   simulation clock once a Testbed exists). --debug is shorthand for
+   --log-level debug. *)
+let setup_logs debug level =
+  let level = if debug then Some Logs.Debug else level in
+  Reporter.install ~level ()
+
+let level_conv =
+  let parse s =
+    match Reporter.level_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf l = Format.pp_print_string ppf (Logs.level_to_string l) in
+  Arg.conv (parse, print)
 
 let debug_arg =
-  let doc = "Print controller/collector debug logs." in
-  Term.(const setup_logs $ Arg.(value & flag & info [ "debug" ] ~doc))
+  let debug =
+    let doc = "Print controller/collector debug logs (= --log-level debug)." in
+    Arg.(value & flag & info [ "debug" ] ~doc)
+  in
+  let log_level =
+    let doc = "Log verbosity: off|error|warning|info|debug." in
+    Arg.(
+      value
+      & opt level_conv (Some Logs.Warning)
+      & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  Term.(const setup_logs $ debug $ log_level)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
@@ -264,11 +515,37 @@ let run_cmd =
   in
   let runs = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Repetitions.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the flight-recorder journal and stream it as NDJSON \
+             (one event per line; analyze with $(b,planck-cli inspect)).")
+  in
+  let timeseries_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries-out" ] ~docv:"FILE"
+          ~doc:
+            "Record ground-truth time-series (link Gbps, buffer bytes, true \
+             vs estimated flow rates) as CSV; with --runs > 1 the last run \
+             is written.")
+  in
+  let timeseries_interval =
+    Arg.(
+      value & opt int 500
+      & info [ "timeseries-interval-us" ] ~docv:"US"
+          ~doc:"Time-series sampling interval, microseconds.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload under a routing scheme")
     Term.(
       const run_experiment $ debug_arg $ workload $ scheme $ size $ runs
-      $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg)
+      $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg $ journal_out
+      $ timeseries_out $ timeseries_interval)
 
 let capture_cmd =
   let output =
@@ -286,9 +563,33 @@ let capture_cmd =
       const capture $ output $ duration $ seed_arg $ metrics_out_arg
       $ trace_out_arg)
 
+let inspect_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:"NDJSON journal written by $(b,run --journal-out).")
+  in
+  let timeseries =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:
+            "Time-series CSV written by $(b,run --timeseries-out); adds \
+             estimate-vs-truth error summaries.")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Analyze a flight-recorder journal: per-loop control stage \
+          breakdowns, reroute flaps, estimate accuracy")
+    Term.(const inspect $ debug_arg $ journal $ timeseries)
+
 let () =
   let doc = "Planck (SIGCOMM 2014 reproduction) command-line tool" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "planck-cli" ~doc)
-          [ topology_cmd; run_cmd; capture_cmd ]))
+          [ topology_cmd; run_cmd; capture_cmd; inspect_cmd ]))

@@ -13,6 +13,7 @@ module Routing = Planck_topology.Routing
 module Fabric = Planck_topology.Fabric
 module Metrics = Planck_telemetry.Metrics
 module Trace = Planck_telemetry.Trace
+module Journal = Planck_telemetry.Journal
 
 let log = Logs.Src.create "planck.collector" ~doc:"Planck collector"
 
@@ -40,6 +41,7 @@ type congestion = {
   utilization : Rate.t;
   capacity : Rate.t;
   flows : (Flow_key.t * Rate.t * Mac.t) list;
+  corr : int;
 }
 
 type config = {
@@ -200,6 +202,11 @@ let check_congestion t ~port =
               ("gbps", Trace.Float (utilization /. 1e9));
             ]
           ();
+        (* Mint the correlation id that names this control loop: every
+           journal event downstream (notify, decide, install,
+           effective) carries it, so Inspect can decompose the loop
+           into the Fig 12/15 stages. *)
+        let corr = Journal.next_corr Journal.default in
         let event =
           {
             time = now;
@@ -208,8 +215,19 @@ let check_congestion t ~port =
             utilization;
             capacity = t.link_rate;
             flows = flows_on_port t ~port;
+            corr;
           }
         in
+        if Journal.enabled Journal.default then
+          Journal.record Journal.default ~ts:now ~corr
+            (Journal.Congestion_detected
+               {
+                 switch = t.switch;
+                 port;
+                 gbps = utilization /. 1e9;
+                 capacity_gbps = t.link_rate /. 1e9;
+                 flows = List.length event.flows;
+               });
         List.iter (fun sub -> sub.callback event) interested
       end
     end
@@ -283,6 +301,14 @@ let process t (record : Sink.record) =
            with
           | Some rate ->
               Metrics.Counter.incr t.tel_estimates;
+              if Journal.enabled Journal.default then
+                Journal.record Journal.default ~ts:record.Sink.rx
+                  (Journal.Estimate_update
+                     {
+                       switch = t.switch;
+                       flow = Format.asprintf "%a" Flow_key.pp key;
+                       gbps = rate /. 1e9;
+                     });
               List.iter
                 (fun hook -> hook key rate record.Sink.rx)
                 t.estimate_hooks;

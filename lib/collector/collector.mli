@@ -49,6 +49,10 @@ type congestion = {
     (Planck_packet.Flow_key.t * Planck_util.Rate.t * Planck_packet.Mac.t) list;
       (** annotation: flows on the link with their estimated rates and
           routing MACs *)
+  corr : int;
+      (** correlation id minted at detection; every downstream
+          {!Planck_telemetry.Journal} event of this control loop
+          (notify, decide, install, effective) carries it *)
 }
 
 type config = {

@@ -8,7 +8,8 @@ type mechanism = Arp | Openflow
 
 let mechanism_name = function Arp -> "ARP" | Openflow -> "OpenFlow"
 
-let apply mechanism ~channel ~routing ~key ~new_mac =
+let apply ?(on_install = fun () -> ()) mechanism ~channel ~routing ~key
+    ~new_mac =
   match Ipv4_addr.host_id key.Flow_key.src_ip with
   | None -> ()
   | Some src ->
@@ -17,10 +18,9 @@ let apply mechanism ~channel ~routing ~key ~new_mac =
       let edge_switch = Fabric.switch fabric edge in
       (match mechanism with
       | Arp ->
-          Actions.spoof_arp channel edge_switch ~port
+          Actions.spoof_arp ~on_injected:on_install channel edge_switch ~port
             ~target:(Fabric.host fabric src)
             ~pretend_ip:key.Flow_key.dst_ip ~pretend_mac:new_mac
       | Openflow ->
           Actions.install_flow_rewrite channel edge_switch ~key
-            ~to_mac:new_mac
-            ~on_installed:(fun () -> ()))
+            ~to_mac:new_mac ~on_installed:on_install)

@@ -17,6 +17,7 @@ type mechanism = Arp | Openflow
 val mechanism_name : mechanism -> string
 
 val apply :
+  ?on_install:(unit -> unit) ->
   mechanism ->
   channel:Planck_openflow.Control_channel.t ->
   routing:Planck_topology.Routing.t ->
@@ -24,4 +25,6 @@ val apply :
   new_mac:Planck_packet.Mac.t ->
   unit
 (** Reroute flow [key] onto [new_mac]'s tree. Silently does nothing if
-    the flow's source is not a testbed host. *)
+    the flow's source is not a testbed host. [on_install] runs when the
+    mechanism takes hold at the network edge: the spoofed ARP enters the
+    edge switch, or the OpenFlow rewrite rule finishes installing. *)

@@ -9,6 +9,8 @@ module Control_channel = Planck_openflow.Control_channel
 module Collector = Planck_collector.Collector
 module Metrics = Planck_telemetry.Metrics
 module Trace = Planck_telemetry.Trace
+module Journal = Planck_telemetry.Journal
+module Packet = Planck_packet.Packet
 
 let log = Logs.Src.create "planck.te" ~doc:"Traffic-engineering application"
 
@@ -40,6 +42,15 @@ type t = {
   mutable reroutes : int;
   mutable reroute_hooks :
     (Time.t -> Flow_key.t -> old_mac:Mac.t -> new_mac:Mac.t -> unit) list;
+  (* Rerouted flows whose new path has not yet been observed: flow ->
+     (correlation id, expected MAC, armed). The effective-watch taps
+     installed in [create] (journal only) close each loop at the
+     collector vantage point, matching how Fig 16 measures response
+     latency. [armed] flips when the install lands: before that, a
+     sample carrying the new MAC is provably a stale frame from the
+     monitor-queue backlog (possible when a flow flaps back to a
+     previous route), not the reroute taking effect. *)
+  pending_effective : (int * Mac.t * bool ref) Flow_key.Table.t;
   tel_notifications : Metrics.counter;
   tel_reroutes : Metrics.counter;
 }
@@ -47,7 +58,7 @@ type t = {
 (* greedy_route_flow of Algorithm 1: consider the flow's current path
    with the flow itself removed, then every alternate; pick the path
    with the largest expected bottleneck capacity. *)
-let greedy_route_flow t flow =
+let greedy_route_flow t ~corr flow =
   let now = Engine.now t.engine in
   if now >= flow.Net_view.no_reroute_until then begin
     match Ipv4_addr.host_id flow.Net_view.key.Flow_key.dst_ip with
@@ -101,7 +112,38 @@ let greedy_route_flow t flow =
             ();
           flow.Net_view.no_reroute_until <- now + t.config.reroute_cooldown;
           Net_view.set_route t.view flow !best_mac;
-          Reroute.apply t.config.mechanism ~channel:t.channel
+          let on_install =
+            if Journal.enabled Journal.default then begin
+              let key = flow.Net_view.key in
+              let label = Format.asprintf "%a" Flow_key.pp key in
+              Journal.record Journal.default ~ts:now ~corr
+                (Journal.Reroute_decision
+                   {
+                     flow = label;
+                     old_mac = Mac.to_string current_mac;
+                     new_mac = Mac.to_string !best_mac;
+                     bottleneck_gbps = !best_btlneck /. 1e9;
+                     mechanism = Reroute.mechanism_name t.config.mechanism;
+                   });
+              let armed = ref false in
+              Flow_key.Table.replace t.pending_effective key
+                (corr, !best_mac, armed);
+              Some
+                (fun () ->
+                  armed := true;
+                  Journal.record Journal.default
+                    ~ts:(Engine.now t.engine)
+                    ~corr
+                    (Journal.Reroute_install
+                       {
+                         flow = label;
+                         mechanism =
+                           Reroute.mechanism_name t.config.mechanism;
+                       }))
+            end
+            else None
+          in
+          Reroute.apply ?on_install t.config.mechanism ~channel:t.channel
             ~routing:t.routing ~key:flow.Net_view.key ~new_mac:!best_mac;
           List.iter
             (fun hook ->
@@ -121,6 +163,10 @@ let process t (event : Collector.congestion) =
   t.notifications <- t.notifications + 1;
   Metrics.Counter.incr t.tel_notifications;
   let now = Engine.now t.engine in
+  if Journal.enabled Journal.default then
+    Journal.record Journal.default ~ts:now ~corr:event.Collector.corr
+      (Journal.Controller_notified
+         { switch = event.Collector.switch; port = event.Collector.port });
   (* The control-loop span of Fig 12/15: opened retroactively at the
      collector's detection stamp, closed when this handler (and any
      reroute messages it sent) is done. The span's duration is exactly
@@ -146,7 +192,7 @@ let process t (event : Collector.congestion) =
   let flows =
     List.sort (fun a b -> compare a.Net_view.rate b.Net_view.rate) flows
   in
-  List.iter (greedy_route_flow t) flows;
+  List.iter (greedy_route_flow t ~corr:event.Collector.corr) flows;
   Trace.span_end Trace.default
     ~now:(Engine.now t.engine)
     ~cat:"te" ~name:"control_loop" ()
@@ -164,6 +210,7 @@ let create engine ~routing ~channel ~collectors ~link_rate
       notifications = 0;
       reroutes = 0;
       reroute_hooks = [];
+      pending_effective = Flow_key.Table.create 16;
       tel_notifications =
         Metrics.counter ~subsystem:"te" ~name:"notifications" ();
       tel_reroutes = Metrics.counter ~subsystem:"te" ~name:"reroutes" ();
@@ -176,6 +223,36 @@ let create engine ~routing ~channel ~collectors ~link_rate
           (* Notification crosses the control network. *)
           Control_channel.send t.channel (fun () -> process t event)))
     collectors;
+  (* Effective-watch: close each control loop when any collector first
+     samples a rerouted flow carrying its new MAC — the Fig 16 vantage
+     point (so the stamp includes monitor-port buffering). Taps force
+     per-sample record allocation in the collector, so they are only
+     installed when the journal is already enabled at deploy time. *)
+  if Journal.enabled Journal.default then
+    List.iter
+      (fun collector ->
+        Collector.set_tap collector (fun sample ->
+            if Flow_key.Table.length t.pending_effective > 0 then
+              match sample.Collector.key with
+              | None -> ()
+              | Some key -> (
+                  match Flow_key.Table.find_opt t.pending_effective key with
+                  | Some (corr, mac, armed)
+                    when !armed
+                         && Mac.equal
+                              (Packet.dst_mac sample.Collector.packet)
+                              mac ->
+                      Flow_key.Table.remove t.pending_effective key;
+                      Journal.record Journal.default ~ts:sample.Collector.rx
+                        ~corr
+                        (Journal.Reroute_effective
+                           {
+                             flow = Format.asprintf "%a" Flow_key.pp key;
+                             new_mac = Mac.to_string mac;
+                             switch = Collector.switch_id collector;
+                           })
+                  | _ -> ())))
+      collectors;
   t
 
 let notifications t = t.notifications

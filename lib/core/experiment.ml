@@ -4,6 +4,8 @@ module Stats = Planck_util.Stats
 module Fat_tree = Planck_topology.Fat_tree
 module Generate = Planck_workloads.Generate
 module Runner = Planck_workloads.Runner
+module Engine = Planck_netsim.Engine
+module Journal = Planck_telemetry.Journal
 
 type workload =
   | Stride of int
@@ -46,6 +48,24 @@ let pairs_for (testbed : Testbed.t) workload prng =
           Generate.random_uniform prng ~hosts)
   | Shuffle _ -> invalid_arg "Experiment.pairs_for: shuffle is not pair-based"
 
+(* Observability hook: the CLI and bench install an observer (e.g. one
+   that builds a Recorder on the fresh testbed) because every run
+   creates its testbed internally; the observer may return a per-flow
+   callback, threaded to the Runner. *)
+let observer :
+    (Testbed.t -> Scheme.deployed -> (Planck_tcp.Flow.t -> unit) option)
+    option
+    ref =
+  ref None
+
+let set_observer f = observer := f
+
+let phase_marker testbed name detail =
+  if Journal.enabled Journal.default then
+    Journal.record Journal.default
+      ~ts:(Engine.now testbed.Testbed.engine)
+      (Journal.Phase_marker { name; detail })
+
 let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
   let spec =
     match seed with
@@ -54,6 +74,14 @@ let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
   in
   let testbed = Testbed.create spec in
   let deployed = Scheme.deploy testbed scheme in
+  phase_marker testbed "run_start"
+    (Printf.sprintf "%s / %s, %d B flows, seed %d" (workload_name workload)
+       (Scheme.name scheme) size spec.Testbed.seed);
+  let on_flow =
+    match !observer with
+    | None -> None
+    | Some observe -> observe testbed deployed
+  in
   let wl_prng = Prng.split testbed.Testbed.prng in
   let flows, host_done =
     match workload with
@@ -64,25 +92,32 @@ let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
             ~orders:
               (Generate.shuffle_orders wl_prng
                  ~hosts:(Testbed.host_count testbed))
-            ~concurrency ~size ?horizon ()
+            ~concurrency ~size ?on_flow ?horizon ()
         in
         (result.Runner.flows, Some result.Runner.host_done)
     | Stride _ | Random_bijection | Random | Staggered_prob _ ->
         let pairs = pairs_for testbed workload wl_prng in
         ( Runner.run_pairs testbed.Testbed.engine
-            ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?horizon (),
+            ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?on_flow
+            ?horizon (),
           None )
   in
-  {
-    workload;
-    scheme_name = Scheme.name scheme;
-    flow_size = size;
-    avg_goodput_gbps = Runner.average_goodput_gbps flows;
-    flows;
-    host_done;
-    reroutes = Scheme.reroutes deployed;
-    all_completed = List.for_all (fun r -> r.Runner.completed) flows;
-  }
+  let summary =
+    {
+      workload;
+      scheme_name = Scheme.name scheme;
+      flow_size = size;
+      avg_goodput_gbps = Runner.average_goodput_gbps flows;
+      flows;
+      host_done;
+      reroutes = Scheme.reroutes deployed;
+      all_completed = List.for_all (fun r -> r.Runner.completed) flows;
+    }
+  in
+  phase_marker testbed "run_end"
+    (Printf.sprintf "avg %.3f Gbps, %d reroutes, all_completed=%b"
+       summary.avg_goodput_gbps summary.reroutes summary.all_completed);
+  summary
 
 let repeat ~runs ~spec ~scheme ~workload ~size ?horizon () =
   List.init runs (fun i ->

@@ -23,6 +23,15 @@ type summary = {
   all_completed : bool;
 }
 
+val set_observer :
+  (Testbed.t -> Scheme.deployed -> (Planck_tcp.Flow.t -> unit) option) option ->
+  unit
+(** Install a process-wide observability hook. Because {!run} builds
+    its testbed internally, callers that want to record ground truth
+    (e.g. {!Recorder}) register an observer; it runs after the scheme
+    is deployed and may return a callback that sees every flow the
+    workload starts. [None] clears it. *)
+
 val run :
   spec:Testbed.spec ->
   scheme:Scheme.t ->

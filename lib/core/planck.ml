@@ -7,7 +7,9 @@
     - {!Scheme} deploys a monitoring/TE scheme on it (Static, PlanckTE,
       polling baselines);
     - {!Experiment} runs the paper's workloads and reports per-flow
-      results.
+      results;
+    - {!Recorder} samples ground-truth time-series (link utilization,
+      buffers, true vs estimated flow rates) from a running testbed.
 
     The underlying layers are re-exported for direct use: the
     discrete-event simulator ({!Netsim}), packet model ({!Packet_model}),
@@ -19,6 +21,7 @@
 module Testbed = Testbed
 module Scheme = Scheme
 module Experiment = Experiment
+module Recorder = Recorder
 module Scalability = Scalability
 
 (** {2 Re-exported layers} *)

@@ -1,0 +1,66 @@
+module Time = Planck_util.Time
+module Rate = Planck_util.Rate
+module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
+module Fabric = Planck_topology.Fabric
+module Flow_key = Planck_packet.Flow_key
+module Flow = Planck_tcp.Flow
+module Timeseries = Planck_telemetry.Timeseries
+
+type t = {
+  ts : Timeseries.t;
+  estimate : Flow_key.t -> Rate.t option;
+}
+
+(* A rate probe from a monotone byte counter: Gbps moved since the last
+   sample. The first sample covers creation-to-now, which is the same
+   interval when registered before sampling starts. *)
+let rate_probe ~interval read =
+  let prev = ref (read ()) in
+  fun () ->
+    let now = read () in
+    let delta = now - !prev in
+    prev := now;
+    Rate.to_gbps (Rate.of_bytes_per delta interval)
+
+let create ?(interval = Time.us 500) ?(estimate = fun _ -> None)
+    (testbed : Testbed.t) =
+  let ts = Timeseries.create ~interval () in
+  let fabric = testbed.Testbed.fabric in
+  for sw = 0 to Fabric.switch_count fabric - 1 do
+    let switch = Fabric.switch fabric sw in
+    List.iter
+      (fun port ->
+        Timeseries.add_series ts
+          ~name:(Printf.sprintf "link:s%d.p%d:gbps" sw port)
+          (rate_probe ~interval (fun () ->
+               (Switch.port_stats switch ~port).Switch.tx_bytes)))
+      (Fabric.data_ports fabric ~switch:sw);
+    Timeseries.add_series ts
+      ~name:(Printf.sprintf "buf:s%d:bytes" sw)
+      (fun () -> float_of_int (Switch.buffer_used switch));
+    match Fabric.monitor_port fabric ~switch:sw with
+    | Some port ->
+        Timeseries.add_series ts
+          ~name:(Printf.sprintf "monq:s%d:bytes" sw)
+          (fun () -> float_of_int (Switch.queue_bytes switch ~port))
+    | None -> ()
+  done;
+  let engine = testbed.Testbed.engine in
+  Timeseries.start ts
+    ~every:(fun ~period f -> Engine.every engine ~period f)
+    ~clock:(fun () -> Engine.now engine);
+  { ts; estimate }
+
+let timeseries t = t.ts
+
+let track_flow t flow =
+  let key = Flow.key flow in
+  let label = Format.asprintf "%a" Flow_key.pp key in
+  Timeseries.add_series t.ts ~name:("true:" ^ label)
+    (rate_probe ~interval:(Timeseries.interval t.ts) (fun () ->
+         Flow.bytes_acked flow));
+  Timeseries.add_series t.ts ~name:("est:" ^ label) (fun () ->
+      match t.estimate key with
+      | Some rate -> Rate.to_gbps rate
+      | None -> Float.nan)

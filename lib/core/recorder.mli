@@ -1,0 +1,34 @@
+(** Ground-truth time-series recording for a {!Testbed}.
+
+    Wires a {!Planck_telemetry.Timeseries} onto the simulator's own
+    state — the quantities a collector can only estimate:
+
+    - [link:s<i>.p<p>:gbps] — true utilization of every wired data
+      port, from egress byte deltas per sampling interval;
+    - [buf:s<i>:bytes] — per-switch shared-buffer occupancy;
+    - [monq:s<i>:bytes] — monitor-port egress queue depth (the
+      oversubscribed mirror backlog that dominates Planck's sample
+      latency);
+    - per tracked flow, [true:<flow>] (sender-acked byte deltas, Gbps)
+      next to [est:<flow>] (the collector estimate, Gbps), so
+      [planck_cli inspect] can report estimate-vs-truth error.
+
+    Sampling runs on the testbed's engine clock; with no estimate
+    source, [est:] columns record [nan]. *)
+
+type t
+
+val create :
+  ?interval:Planck_util.Time.t ->
+  ?estimate:(Planck_packet.Flow_key.t -> Planck_util.Rate.t option) ->
+  Testbed.t ->
+  t
+(** Register the per-link and per-switch series and start sampling
+    every [interval] (default 500 us). [estimate] is typically
+    [Controller.flow_rate controller] from the deployed scheme. *)
+
+val timeseries : t -> Planck_telemetry.Timeseries.t
+
+val track_flow : t -> Planck_tcp.Flow.t -> unit
+(** Add the [true:]/[est:] series pair for one flow (usually from
+    {!Runner}'s [on_flow] hook). *)

@@ -108,6 +108,10 @@ let create spec =
     Array.init (Fabric.host_count fabric) (fun i ->
         Endpoint.create (Fabric.host fabric i))
   in
+  (* Log messages during this testbed's lifetime are stamped with its
+     simulated clock (the newest testbed wins when several coexist,
+     which only happens in tests). *)
+  Planck_telemetry.Reporter.set_clock (Some (fun () -> Engine.now engine));
   { spec; engine; fabric; routing; endpoints; prng }
 
 let host_count t = Fabric.host_count t.fabric

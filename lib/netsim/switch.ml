@@ -4,6 +4,7 @@ module Prng = Planck_util.Prng
 module Packet = Planck_packet.Packet
 module Mac = Planck_packet.Mac
 module Metrics = Planck_telemetry.Metrics
+module Journal = Planck_telemetry.Journal
 
 type arbitration = Round_robin | Fifo
 
@@ -68,6 +69,10 @@ type t = {
   mutable unroutable : int;
   mutable mirror_total : int;
   mutable mirror_special : int;
+  (* Highest shared-buffer eighth (1-8 of capacity) seen so far; the
+     journal records upward crossings only, so a full run produces at
+     most 8 Queue_high_water events per switch. *)
+  mutable hw_level : int;
   prng : Prng.t;
   tel : telemetry;
 }
@@ -100,6 +105,7 @@ let create engine ~name ~ports ~config ?prng () =
     unroutable = 0;
     mirror_total = 0;
     mirror_special = 0;
+    hw_level = 0;
     prng;
     tel =
       (let per_port metric =
@@ -203,6 +209,27 @@ let drop t ~port ~mirror =
   else begin
     t.counters.(port).data_drops <- t.counters.(port).data_drops + 1;
     Metrics.Counter.incr t.tel.tel_data_drops.(port)
+  end;
+  if Journal.enabled Journal.default then
+    Journal.record Journal.default ~ts:(Engine.now t.engine)
+      (Journal.Packet_drop { switch = t.name; port; mirror })
+
+let note_high_water t =
+  let capacity = Buffer_pool.capacity t.buffer in
+  let level =
+    if capacity = 0 then 0
+    else Buffer_pool.shared_used t.buffer * 8 / capacity
+  in
+  if level > t.hw_level then begin
+    t.hw_level <- level;
+    Journal.record Journal.default ~ts:(Engine.now t.engine)
+      (Journal.Queue_high_water
+         {
+           switch = t.name;
+           occupancy = Buffer_pool.shared_used t.buffer;
+           capacity;
+           level;
+         })
   end
 
 let enqueue t ~port ~cls ~mirror packet =
@@ -217,6 +244,7 @@ let enqueue t ~port ~cls ~mirror packet =
         Metrics.Counter.incr t.tel.tel_enqueued.(port);
         Metrics.Gauge.set_int t.tel.tel_buffer_hw
           (Buffer_pool.shared_high_water t.buffer);
+        if Journal.enabled Journal.default then note_high_water t;
         Txport.enqueue txport ~cls packet
       end
       else drop t ~port ~mirror

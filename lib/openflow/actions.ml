@@ -4,15 +4,18 @@ module Mac = Planck_packet.Mac
 module Switch = Planck_netsim.Switch
 module Host = Planck_netsim.Host
 
-let packet_out channel switch ~port packet =
-  Control_channel.send channel (fun () -> Switch.inject switch ~port packet)
+let packet_out ?(on_injected = fun () -> ()) channel switch ~port packet =
+  Control_channel.send channel (fun () ->
+      Switch.inject switch ~port packet;
+      on_injected ())
 
 let install_flow_rewrite channel switch ~key ~to_mac ~on_installed =
   Control_channel.install_rule channel (fun () ->
       Switch.add_flow_rewrite switch ~key ~to_mac;
       on_installed ())
 
-let spoof_arp channel switch ~port ~target ~pretend_ip ~pretend_mac =
+let spoof_arp ?on_injected channel switch ~port ~target ~pretend_ip
+    ~pretend_mac =
   let request =
     Packet.arp ~src_mac:pretend_mac ~dst_mac:(Host.mac target)
       {
@@ -23,4 +26,4 @@ let spoof_arp channel switch ~port ~target ~pretend_ip ~pretend_mac =
         target_ip = Host.ip target;
       }
   in
-  packet_out channel switch ~port request
+  packet_out ?on_injected channel switch ~port request

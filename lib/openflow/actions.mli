@@ -2,13 +2,16 @@
     latency applied. *)
 
 val packet_out :
+  ?on_injected:(unit -> unit) ->
   Control_channel.t ->
   Planck_netsim.Switch.t ->
   port:int ->
   Planck_packet.Packet.t ->
   unit
 (** Inject a frame out of a switch port (OpenFlow packet-out): one
-    control-channel delay, then normal egress queueing. *)
+    control-channel delay, then normal egress queueing. [on_injected]
+    runs when the frame enters the switch (after the channel delay) —
+    the journal's install stamp. *)
 
 val install_flow_rewrite :
   Control_channel.t ->
@@ -22,6 +25,7 @@ val install_flow_rewrite :
     [on_installed] runs) after channel latency + TCAM install time. *)
 
 val spoof_arp :
+  ?on_injected:(unit -> unit) ->
   Control_channel.t ->
   Planck_netsim.Switch.t ->
   port:int ->

@@ -6,6 +6,7 @@ module Packet = Planck_packet.Packet
 module Headers = Planck_packet.Headers
 module Flow_key = Planck_packet.Flow_key
 module Seq32 = Planck_packet.Seq32
+module Journal = Planck_telemetry.Journal
 
 type params = {
   mss : int;
@@ -90,6 +91,10 @@ let cubic_beta = 0.7
 
 let src_host t = Endpoint.host t.src
 let dst_host t = Endpoint.host t.dst
+
+(* Journal label; only built when the journal is enabled (call sites
+   guard), so the formatting never costs the hot path anything. *)
+let flow_label t = Format.asprintf "%a" Flow_key.pp t.data_key
 
 let data_packet t ~seq ~len ~flags =
   match Host.arp_lookup (src_host t) (Host.ip (dst_host t)) with
@@ -260,7 +265,12 @@ and transmit_segment t ~seq ~len ~retransmission =
   match data_packet t ~seq ~len ~flags:Headers.Tcp_flags.ack with
   | None -> ()
   | Some packet ->
-      if retransmission then t.retransmits <- t.retransmits + 1;
+      if retransmission then begin
+        t.retransmits <- t.retransmits + 1;
+        if Journal.enabled Journal.default then
+          Journal.record Journal.default ~ts:(Engine.now t.engine)
+            (Journal.Tcp_retransmit { flow = flow_label t; seq })
+      end;
       Host.send (src_host t) packet
 
 and send_new_data t ~window =
@@ -320,6 +330,9 @@ and on_timeout t =
   end
   else if t.phase = Established && flight t > 0 then begin
     t.timeouts <- t.timeouts + 1;
+    if Journal.enabled Journal.default then
+      Journal.record Journal.default ~ts:(Engine.now t.engine)
+        (Journal.Tcp_timeout { flow = flow_label t; rto_ns = t.rto });
     let mss = float_of_int t.params.mss in
     t.ssthresh <- cubic_on_loss t;
     t.cwnd <- mss;
@@ -365,6 +378,9 @@ let complete t =
 (* ---- Sender: ACK processing ---- *)
 
 let enter_recovery t =
+  if Journal.enabled Journal.default then
+    Journal.record Journal.default ~ts:(Engine.now t.engine)
+      (Journal.Tcp_recovery_enter { flow = flow_label t });
   t.ssthresh <- cubic_on_loss t;
   t.recover <- t.snd_nxt;
   t.in_recovery <- true;

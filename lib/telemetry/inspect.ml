@@ -1,0 +1,190 @@
+module Time = Planck_util.Time
+
+type loop = {
+  corr : int;
+  flow : string option;
+  detect : Time.t;
+  notify : Time.t option;
+  decide : Time.t option;
+  install : Time.t option;
+  effective : Time.t option;
+}
+
+let complete l =
+  l.flow <> None && l.notify <> None && l.decide <> None && l.install <> None
+  && l.effective <> None
+
+let total l =
+  match l.effective with Some e when complete l -> Some (e - l.detect) | _ -> None
+
+(* Rebuilding loops is a fold over the journal keyed on (corr, flow):
+   detect/notify belong to the corr as a whole; decide/install/effective
+   are per rerouted flow. Each stage keeps its earliest stamp so a
+   duplicate event (e.g. a retransmitted sample matching the effective
+   watch twice) cannot shrink a leg. *)
+let loops events =
+  let corrs = Hashtbl.create 16 in (* corr -> detect, notify *)
+  let by_flow = Hashtbl.create 16 in (* corr * flow -> decide/install/effective *)
+  let order = ref [] in
+  let first old ts = match old with None -> Some ts | Some t -> Some (min t ts) in
+  let touch_corr corr f =
+    let detect, notify =
+      match Hashtbl.find_opt corrs corr with
+      | Some dn -> dn
+      | None ->
+          order := `Corr corr :: !order;
+          (None, None)
+    in
+    Hashtbl.replace corrs corr (f (detect, notify))
+  in
+  let touch_flow corr flow f =
+    let key = (corr, flow) in
+    let entry =
+      match Hashtbl.find_opt by_flow key with
+      | Some e -> e
+      | None ->
+          order := `Flow key :: !order;
+          (None, None, None)
+    in
+    Hashtbl.replace by_flow key (f entry)
+  in
+  List.iter
+    (fun (ev : Journal.event) ->
+      match (ev.Journal.corr, ev.Journal.body) with
+      | Some corr, Journal.Congestion_detected _ ->
+          touch_corr corr (fun (d, n) -> (first d ev.ts, n))
+      | Some corr, Journal.Controller_notified _ ->
+          touch_corr corr (fun (d, n) -> (d, first n ev.ts))
+      | Some corr, Journal.Reroute_decision { flow; _ } ->
+          touch_flow corr flow (fun (dc, i, e) -> (first dc ev.ts, i, e))
+      | Some corr, Journal.Reroute_install { flow; _ } ->
+          touch_flow corr flow (fun (dc, i, e) -> (dc, first i ev.ts, e))
+      | Some corr, Journal.Reroute_effective { flow; _ } ->
+          touch_flow corr flow (fun (dc, i, e) -> (dc, i, first e ev.ts))
+      | _ -> ())
+    events;
+  (* One loop per (corr, flow); corrs that never decided still show up
+     (flow = None) so inspect can report loops that went nowhere. *)
+  let flows_of corr =
+    Hashtbl.fold
+      (fun (c, flow) _ acc -> if c = corr then flow :: acc else acc)
+      by_flow []
+  in
+  let ls =
+    List.filter_map
+      (function
+        | `Flow (corr, flow) ->
+            let detect, notify =
+              Option.value (Hashtbl.find_opt corrs corr) ~default:(None, None)
+            in
+            let decide, install, effective =
+              Option.value
+                (Hashtbl.find_opt by_flow (corr, flow))
+                ~default:(None, None, None)
+            in
+            Option.map
+              (fun detect ->
+                { corr; flow = Some flow; detect; notify; decide; install;
+                  effective })
+              detect
+        | `Corr corr -> (
+            if flows_of corr <> [] then None
+            else
+              match Hashtbl.find_opt corrs corr with
+              | Some (Some detect, notify) ->
+                  Some
+                    { corr; flow = None; detect; notify; decide = None;
+                      install = None; effective = None }
+              | _ -> None))
+      (List.rev !order)
+  in
+  List.stable_sort (fun a b -> compare (a.detect, a.corr) (b.detect, b.corr)) ls
+
+let stage_names =
+  [
+    "detect->notify";
+    "notify->decide";
+    "decide->install";
+    "install->effective";
+    "detect->effective";
+  ]
+
+let stage_durations ls =
+  let complete_loops = List.filter complete ls in
+  let leg f = List.filter_map f complete_loops in
+  let ms a b =
+    match (a, b) with
+    | Some a, Some b -> Some (Time.to_float_ms (b - a))
+    | _ -> None
+  in
+  [
+    ("detect->notify", leg (fun l -> ms (Some l.detect) l.notify));
+    ("notify->decide", leg (fun l -> ms l.notify l.decide));
+    ("decide->install", leg (fun l -> ms l.decide l.install));
+    ("install->effective", leg (fun l -> ms l.install l.effective));
+    ("detect->effective", leg (fun l -> ms (Some l.detect) l.effective));
+  ]
+
+let desc_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb))
+
+let flap_counts events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Journal.event) ->
+      match ev.Journal.body with
+      | Journal.Reroute_decision { flow; _ } ->
+          Hashtbl.replace tbl flow
+            (1 + Option.value (Hashtbl.find_opt tbl flow) ~default:0)
+      | _ -> ())
+    events;
+  desc_counts tbl
+
+let count_events events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Journal.event) ->
+      let name = Journal.name_of_body ev.Journal.body in
+      Hashtbl.replace tbl name
+        (1 + Option.value (Hashtbl.find_opt tbl name) ~default:0))
+    events;
+  desc_counts tbl
+
+let estimate_errors ~names ~rows =
+  let index name =
+    let rec go i = function
+      | [] -> None
+      | n :: _ when n = name -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 names
+  in
+  let flows =
+    List.filter_map
+      (fun n ->
+        if String.length n > 5 && String.sub n 0 5 = "true:" then
+          Some (String.sub n 5 (String.length n - 5))
+        else None)
+      names
+  in
+  List.filter_map
+    (fun flow ->
+      match (index ("true:" ^ flow), index ("est:" ^ flow)) with
+      | Some ti, Some ei ->
+          let truth, est =
+            List.fold_left
+              (fun (truth, est) (_, row) ->
+                if ti < Array.length row && ei < Array.length row then
+                  let tv = row.(ti) and ev = row.(ei) in
+                  if tv > 0.05 && Float.is_finite ev then
+                    (tv :: truth, ev :: est)
+                  else (truth, est)
+                else (truth, est))
+              ([], []) rows
+          in
+          if truth = [] then None
+          else
+            Some (flow, Planck_util.Stats.mean_relative_error ~truth ~estimate:est)
+      | _ -> None)
+    flows

@@ -1,0 +1,62 @@
+(** Pure analysis over a {!Journal}: rebuild correlated control loops
+    and summarize them.
+
+    This is the engine behind [planck_cli inspect]: given the events of
+    a journal (live or parsed back from NDJSON) it decomposes each
+    correlation id into the named stages of the paper's Fig 12/15
+    timeline — detect (congestion seen at the collector), notify
+    (controller received the event), decide (TE picked a new route),
+    install (ARP packet_out injected / OpenFlow rule installed), and
+    effective (first sample of the flow on its new path, the Fig 16
+    vantage point). *)
+
+module Time = Planck_util.Time
+
+type loop = {
+  corr : int;
+  flow : string option;
+      (** [None] when the congestion event produced no reroute (e.g. TE
+          found no better path). *)
+  detect : Time.t;
+  notify : Time.t option;
+  decide : Time.t option;
+  install : Time.t option;
+  effective : Time.t option;
+}
+(** One (correlation id, rerouted flow) pair. A congestion event that
+    reroutes several flows yields several loops sharing [detect] and
+    [notify]. *)
+
+val complete : loop -> bool
+(** All five stages present. *)
+
+val total : loop -> Time.t option
+(** detect -> effective, when complete. *)
+
+val loops : Journal.event list -> loop list
+(** Rebuild loops, ordered by detection time. *)
+
+val stage_names : string list
+(** The four inter-stage legs plus the total, in timeline order. *)
+
+val stage_durations : loop list -> (string * float list) list
+(** Per {!stage_names} entry, the leg's duration in milliseconds for
+    every complete loop (use {!Planck_util.Stats.percentile} on each
+    list). *)
+
+val flap_counts : Journal.event list -> (string * int) list
+(** Reroute decisions per flow, most-rerouted first. A flow rerouted
+    more than once within a journal is flapping. *)
+
+val count_events : Journal.event list -> (string * int) list
+(** Occurrences per event name ("packet_drop", "retransmit", ...),
+    descending. *)
+
+val estimate_errors :
+  names:string list ->
+  rows:(float * float array) list ->
+  (string * float) list
+(** Pair [true:<flow>] / [est:<flow>] timeseries columns and compute
+    each flow's mean relative estimation error over samples where the
+    true rate is significant (> 0.05 Gbps) and the estimate is
+    defined. *)

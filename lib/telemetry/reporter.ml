@@ -1,0 +1,43 @@
+module Time = Planck_util.Time
+
+let clock : (unit -> Time.t) option ref = ref None
+let set_clock c = clock := c
+
+let now_str () =
+  match !clock with
+  | None -> "--"
+  | Some c -> Time.to_string (c ())
+
+let level_str = function
+  | Logs.App -> "APP"
+  | Logs.Error -> "ERROR"
+  | Logs.Warning -> "WARN"
+  | Logs.Info -> "INFO"
+  | Logs.Debug -> "DEBUG"
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags fmt ->
+    ignore header;
+    ignore tags;
+    Format.kfprintf k Format.err_formatter
+      ("[%s] [%s] [%s] " ^^ fmt ^^ "@.")
+      (now_str ()) (level_str level) (Logs.Src.name src)
+  in
+  { Logs.report }
+
+let install ?level () =
+  Logs.set_reporter (reporter ());
+  match level with None -> () | Some l -> Logs.set_level l
+
+let level_of_string = function
+  | "off" -> Ok None
+  | "warn" -> Ok (Some Logs.Warning)
+  | s -> (
+      match Logs.level_of_string s with
+      | Ok l -> Ok l
+      | Error (`Msg m) -> Error m)

@@ -1,0 +1,23 @@
+(** A shared [Logs] reporter that prefixes every message with simulated
+    time and its source.
+
+    The stack declares [Logs.Src]s (collector, poller, te, ...) but the
+    library never sets a reporter, so by default all log output is
+    silently dropped. {!install} wires one up; {!set_clock} lets the
+    simulation (Testbed) rebind the timestamp source to its engine so
+    messages read ["[12.503ms] [planck.collector] ..."] in simulated
+    time rather than wall time. *)
+
+module Time = Planck_util.Time
+
+val set_clock : (unit -> Time.t) option -> unit
+(** Install (or clear) the simulated-time source. With no clock, the
+    prefix shows ["--"]. *)
+
+val install : ?level:Logs.level option -> unit -> unit
+(** Set the process-wide reporter (messages go to stderr) and, if
+    [level] is given, the global log level. *)
+
+val level_of_string : string -> (Logs.level option, string) result
+(** Parse ["off"|"error"|"warning"|"info"|"debug"] (also accepts
+    anything [Logs.level_of_string] does). *)

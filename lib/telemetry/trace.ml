@@ -87,14 +87,14 @@ let ph_of_phase = function
 (* trace_event timestamps are microseconds as doubles; integer
    nanoseconds up to ~104 days stay exact after /1000 in a double, so
    ts round-trips through the JSON (tests rely on this). *)
-let json_of_event ev =
+let json_of_event ~pid ev =
   let base =
     [
       ("name", Json.String ev.name);
       ("cat", Json.String ev.cat);
       ("ph", Json.String (ph_of_phase ev.phase));
       ("ts", Json.Float (float_of_int ev.ts /. 1000.0));
-      ("pid", Json.Int 0);
+      ("pid", Json.Int pid);
       ("tid", Json.Int 0);
     ]
   in
@@ -119,9 +119,36 @@ let to_chrome_json t =
   let evs =
     List.stable_sort (fun a b -> compare a.ts b.ts) (events t)
   in
+  (* Each category renders as its own Perfetto process: assign pids by
+     first appearance and name them with M-phase process_name metadata,
+     so exported traces group by subsystem instead of one flat lane. *)
+  let cats =
+    List.fold_left
+      (fun cats ev -> if List.mem ev.cat cats then cats else ev.cat :: cats)
+      [] evs
+    |> List.rev
+  in
+  let pids = List.mapi (fun i cat -> (cat, i + 1)) cats in
+  let pid_of cat = List.assoc cat pids in
+  let metadata =
+    List.map
+      (fun (cat, pid) ->
+        Json.Obj
+          [
+            ("name", Json.String "process_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("args", Json.Obj [ ("name", Json.String cat) ]);
+          ])
+      pids
+  in
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.map json_of_event evs));
+         ( "traceEvents",
+           Json.List
+             (metadata
+             @ List.map (fun ev -> json_of_event ~pid:(pid_of ev.cat) ev) evs)
+         );
          ("displayTimeUnit", Json.String "ns");
        ])

@@ -103,4 +103,6 @@ val to_chrome_json : t -> string
 (** The ring as a Chrome [trace_event] JSON document
     ([{"traceEvents": [...]}]), events sorted by timestamp.
     [ts] fields are microseconds; integer-nanosecond stamps divide by
-    1000 exactly in a double, so they round-trip. *)
+    1000 exactly in a double, so they round-trip. Each category is
+    assigned its own [pid] and named by an [M]-phase [process_name]
+    metadata record, so Perfetto groups tracks by subsystem. *)

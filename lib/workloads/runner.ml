@@ -52,7 +52,7 @@ let run_engine_until engine ~horizon ~all_done =
   in
   loop ()
 
-let run_pairs engine ~endpoints ~pairs ~size ?params
+let run_pairs engine ~endpoints ~pairs ~size ?params ?on_flow
     ?(horizon = Time.s 120) () =
   let fresh_port = port_allocator () in
   let flows =
@@ -62,6 +62,7 @@ let run_pairs engine ~endpoints ~pairs ~size ?params
           Flow.start ~src:endpoints.(src) ~dst:endpoints.(dst)
             ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params ()
         in
+        Option.iter (fun f -> f flow) on_flow;
         (src, dst, flow))
       pairs
   in
@@ -69,7 +70,7 @@ let run_pairs engine ~endpoints ~pairs ~size ?params
       List.for_all (fun (_, _, flow) -> Flow.completed flow) flows);
   List.map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) flows
 
-let run_shuffle engine ~endpoints ~orders ~concurrency ~size ?params
+let run_shuffle engine ~endpoints ~orders ~concurrency ~size ?params ?on_flow
     ?(horizon = Time.s 120) () =
   if concurrency <= 0 then invalid_arg "Runner.run_shuffle: bad concurrency";
   let hosts = Array.length orders in
@@ -96,6 +97,7 @@ let run_shuffle engine ~endpoints ~orders ~concurrency ~size ?params
                        (Flow.completed_at flow)))
             ()
         in
+        Option.iter (fun f -> f flow) on_flow;
         flows := (h, dst, flow) :: !flows
     | [] -> ()
   in

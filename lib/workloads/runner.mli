@@ -24,12 +24,15 @@ val run_pairs :
   pairs:Generate.pair list ->
   size:int ->
   ?params:Planck_tcp.Flow.params ->
+  ?on_flow:(Planck_tcp.Flow.t -> unit) ->
   ?horizon:Planck_util.Time.t ->
   unit ->
   flow_result list
 (** Start one flow per pair at time now; run the engine until all
     complete or [horizon] (default 120 s) simulated time passes.
-    Incomplete flows are reported with [completed = false]. *)
+    Incomplete flows are reported with [completed = false]. [on_flow]
+    sees every flow as it starts (observability hooks, e.g.
+    {!Planck.Recorder.track_flow}). *)
 
 val run_shuffle :
   Planck_netsim.Engine.t ->
@@ -38,11 +41,14 @@ val run_shuffle :
   concurrency:int ->
   size:int ->
   ?params:Planck_tcp.Flow.params ->
+  ?on_flow:(Planck_tcp.Flow.t -> unit) ->
   ?horizon:Planck_util.Time.t ->
   unit ->
   shuffle_result
 (** Each host sends [size] bytes to every other host in its given
-    order, [concurrency] transfers at a time (the paper uses 2). *)
+    order, [concurrency] transfers at a time (the paper uses 2).
+    [on_flow] sees every flow as it starts, including those launched
+    later by completion chaining. *)
 
 val average_goodput_gbps : flow_result list -> float
 (** Mean per-flow goodput over completed flows — the paper's Figure 14

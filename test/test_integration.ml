@@ -91,6 +91,93 @@ let detection_latency_under_2ms () =
         true
         (latency < Time.ms 10)
 
+(* The flight recorder end to end: a PlanckTE run with the journal on
+   must produce at least one control loop with all five correlated
+   stages (detect -> notify -> decide -> install -> effective), in
+   timeline order and millisecond-scale overall — the Fig 12/15/16
+   decomposition the inspect subcommand prints. *)
+let journal_records_complete_control_loops () =
+  let module Journal = Planck_telemetry.Journal in
+  let module Inspect = Planck_telemetry.Inspect in
+  let has_substring line sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* Stream only the control-loop events: a full run drops far more
+     packets than the default ring holds, and the early loops must not
+     be lost to eviction. *)
+  let keep =
+    [
+      "congestion_detected"; "notified"; "reroute_decision";
+      "reroute_install"; "reroute_effective";
+    ]
+  in
+  let buf = Buffer.create 4096 in
+  let was = Journal.enabled Journal.default in
+  Journal.set_enabled Journal.default true;
+  Journal.set_writer Journal.default
+    (Some
+       (fun line ->
+         if
+           List.exists
+             (fun ev -> has_substring line ("\"ev\":\"" ^ ev ^ "\""))
+             keep
+         then begin
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n'
+         end));
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.set_writer Journal.default None;
+      Journal.set_enabled Journal.default was;
+      Journal.clear Journal.default)
+    (fun () ->
+      let summary =
+        run ~scheme:Scheme.planck_te_default
+          ~spec:(Testbed.paper_fat_tree ())
+          ~size:(5 * 1024 * 1024) ()
+      in
+      Alcotest.(check bool) "run rerouted" true
+        (summary.Experiment.reroutes > 0);
+      match Journal.of_ndjson (Buffer.contents buf) with
+      | Error e -> Alcotest.failf "streamed journal invalid: %s" e
+      | Ok events ->
+          let loops = Inspect.loops events in
+          let complete = List.filter Inspect.complete loops in
+          Alcotest.(check bool)
+            (Printf.sprintf "%d of %d loops complete" (List.length complete)
+               (List.length loops))
+            true
+            (complete <> []);
+          Alcotest.(check int) "one loop per reroute decision"
+            summary.Experiment.reroutes
+            (List.length
+               (List.filter (fun l -> l.Inspect.flow <> None) loops));
+          List.iter
+            (fun (l : Inspect.loop) ->
+              let ordered =
+                match (l.Inspect.notify, l.Inspect.decide, l.Inspect.install,
+                       l.Inspect.effective)
+                with
+                | Some n, Some d, Some i, Some e ->
+                    l.Inspect.detect <= n && n <= d && d <= i && i <= e
+                | _ -> false
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "loop %d stages in timeline order"
+                   l.Inspect.corr)
+                true ordered;
+              match Inspect.total l with
+              | Some total ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "loop %d total %s is millisecond-scale"
+                       l.Inspect.corr (Time.to_string total))
+                    true
+                    (total > 0 && total < Time.ms 10)
+              | None -> ())
+            complete)
+
 let experiment_repeat_varies_seeds () =
   let summaries =
     Experiment.repeat ~runs:2 ~spec:(Testbed.paper_fat_tree ())
@@ -135,6 +222,8 @@ let tests =
       poller_reroutes_long_flows;
     Alcotest.test_case "congestion detected within ms" `Quick
       detection_latency_under_2ms;
+    Alcotest.test_case "journal records complete control loops" `Quick
+      journal_records_complete_control_loops;
     Alcotest.test_case "repeat varies seeds" `Quick
       experiment_repeat_varies_seeds;
     qtest optimal_beats_everything_qcheck;

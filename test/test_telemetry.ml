@@ -255,22 +255,71 @@ let chrome_json_valid_and_roundtrips () =
   | Ok doc -> (
       match Option.bind (Json.member doc "traceEvents") Json.to_list_opt with
       | None -> Alcotest.fail "no traceEvents array"
-      | Some events ->
+      | Some records ->
+          let phase_of e =
+            Option.value ~default:"?"
+              (Option.bind (Json.member e "ph") Json.to_string_opt)
+          in
+          let metadata, events =
+            List.partition (fun e -> phase_of e = "M") records
+          in
+          (* One process_name metadata record per category, so Perfetto
+             shows each cat as a named process track. *)
+          Alcotest.(check int) "one metadata per cat" 2
+            (List.length metadata);
+          let proc_names =
+            List.filter_map
+              (fun m ->
+                Option.bind (Json.member m "args") (fun args ->
+                    Option.bind (Json.member args "name") Json.to_string_opt))
+              metadata
+          in
+          Alcotest.(check (list string))
+            "cats named in first-appearance order" [ "te"; "col" ] proc_names;
+          List.iter
+            (fun m ->
+              Alcotest.(check (option string))
+                "metadata kind" (Some "process_name")
+                (Option.bind (Json.member m "name") Json.to_string_opt))
+            metadata;
           Alcotest.(check int) "3 events" 3 (List.length events);
           let ts_of e =
             match Option.bind (Json.member e "ts") Json.to_float_opt with
             | Some ts -> ts
             | None -> Alcotest.fail "event without ts"
           in
-          let phase_of e =
-            Option.value ~default:"?"
-              (Option.bind (Json.member e "ph") Json.to_string_opt)
-          in
           (* Sorted by timestamp (microseconds), despite recording order. *)
           Alcotest.(check (list (pair string (float 1e-9))))
             "sorted ts in us"
             [ ("B", 100.0); ("i", 200.0); ("E", 300.0) ]
-            (List.map (fun e -> (phase_of e, ts_of e)) events))
+            (List.map (fun e -> (phase_of e, ts_of e)) events);
+          (* Every event's pid matches its category's metadata pid. *)
+          let pid_of e =
+            Option.bind (Json.member e "pid") Json.to_int_opt
+          in
+          let pid_by_cat =
+            List.filter_map
+              (fun m ->
+                match
+                  ( Option.bind (Json.member m "args") (fun a ->
+                        Option.bind (Json.member a "name") Json.to_string_opt),
+                    pid_of m )
+                with
+                | Some cat, Some pid -> Some (cat, pid)
+                | _ -> None)
+              metadata
+          in
+          List.iter
+            (fun e ->
+              let cat =
+                Option.value ~default:"?"
+                  (Option.bind (Json.member e "cat") Json.to_string_opt)
+              in
+              Alcotest.(check (option int))
+                (Printf.sprintf "pid of cat %s" cat)
+                (List.assoc_opt cat pid_by_cat)
+                (pid_of e))
+            events)
 
 let chrome_ts_roundtrip_exact () =
   (* Integer-nanosecond stamps written as microsecond doubles must
@@ -287,7 +336,11 @@ let chrome_ts_roundtrip_exact () =
   | Error e -> Alcotest.failf "invalid: %s" e
   | Ok doc ->
       let events =
-        Option.get (Option.bind (Json.member doc "traceEvents") Json.to_list_opt)
+        List.filter
+          (fun e ->
+            Option.bind (Json.member e "ph") Json.to_string_opt <> Some "M")
+          (Option.get
+             (Option.bind (Json.member doc "traceEvents") Json.to_list_opt))
       in
       let got =
         List.map
@@ -302,6 +355,376 @@ let chrome_ts_roundtrip_exact () =
         "every stamp recovered to the nanosecond"
         (List.sort compare stamps)
         got
+
+(* ---- journal (flight recorder) ---- *)
+
+module Journal = Planck_telemetry.Journal
+module Timeseries = Planck_telemetry.Timeseries
+module Inspect = Planck_telemetry.Inspect
+
+let journal_disabled_and_corr () =
+  let j = Journal.create ~enabled:false () in
+  Journal.record j ~ts:(Time.us 1) (Journal.Phase_marker { name = "x"; detail = "" });
+  Alcotest.(check int) "disabled records nothing" 0 (Journal.length j);
+  (* Correlation ids mint even while disabled: detection order must be
+     stable whether or not the journal is on. *)
+  let c1 = Journal.next_corr j in
+  let c2 = Journal.next_corr j in
+  let c3 = Journal.next_corr j in
+  Alcotest.(check (list int)) "corr ids count from 1" [ 1; 2; 3 ] [ c1; c2; c3 ];
+  Journal.set_enabled j true;
+  Journal.record j ~ts:(Time.us 2) ~corr:7
+    (Journal.Phase_marker { name = "y"; detail = "" });
+  Alcotest.(check int) "enabled records" 1 (Journal.length j);
+  match Journal.events j with
+  | [ ev ] ->
+      Alcotest.(check int) "ts" (Time.us 2) ev.Journal.ts;
+      Alcotest.(check (option int)) "corr" (Some 7) ev.Journal.corr
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let journal_ring_eviction () =
+  let j = Journal.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Journal.record j ~ts:(Time.ns i)
+      (Journal.Phase_marker { name = string_of_int i; detail = "" })
+  done;
+  Alcotest.(check int) "length bounded" 4 (Journal.length j);
+  Alcotest.(check int) "capacity" 4 (Journal.capacity j);
+  Alcotest.(check int) "evicted counted" 6 (Journal.evicted j);
+  Alcotest.(check (list string))
+    "keeps the newest window" [ "7"; "8"; "9"; "10" ]
+    (List.filter_map
+       (fun ev ->
+         match ev.Journal.body with
+         | Journal.Phase_marker { name; _ } -> Some name
+         | _ -> None)
+       (Journal.events j));
+  Journal.clear j;
+  Alcotest.(check int) "clear empties" 0 (Journal.length j)
+
+(* One event per constructor, with representative field values. *)
+let every_body_kind =
+  [
+    Journal.Packet_drop { switch = "s3"; port = 2; mirror = true };
+    Journal.Queue_high_water
+      { switch = "s0"; occupancy = 9001; capacity = 80_000; level = 1 };
+    Journal.Tcp_retransmit
+      { flow = "10.0.0.1:1 > 10.0.0.2:2/tcp"; seq = 123456 };
+    Journal.Tcp_timeout { flow = "a > b/tcp"; rto_ns = 2_000_000 };
+    Journal.Tcp_recovery_enter { flow = "a > b/tcp" };
+    Journal.Congestion_detected
+      { switch = 3; port = 1; gbps = 9.25; capacity_gbps = 10.0; flows = 4 };
+    Journal.Estimate_update { switch = 3; flow = "a > b/tcp"; gbps = 4.5 };
+    Journal.Controller_notified { switch = 3; port = 1 };
+    Journal.Reroute_decision
+      {
+        flow = "a > b/tcp";
+        old_mac = "02:00:00:00:00:08";
+        new_mac = "02:01:00:00:00:08";
+        bottleneck_gbps = 7.5;
+        mechanism = "arp";
+      };
+    Journal.Reroute_install { flow = "a > b/tcp"; mechanism = "arp" };
+    Journal.Reroute_effective
+      { flow = "a > b/tcp"; new_mac = "02:01:00:00:00:08"; switch = 5 };
+    Journal.Phase_marker { name = "run_start"; detail = "stride(8)" };
+    Journal.Custom
+      {
+        source = "ext";
+        name = "my_event";
+        args = [ ("k", Json.Int 3); ("s", Json.String "v") ];
+      };
+  ]
+
+let journal_ndjson_roundtrip () =
+  let j = Journal.create () in
+  List.iteri
+    (fun i body ->
+      let corr = if i mod 2 = 0 then Some (i + 1) else None in
+      Journal.record j ~ts:(Time.us (i + 1)) ?corr body)
+    every_body_kind;
+  match Journal.of_ndjson (Journal.to_ndjson j) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "all events back" (List.length every_body_kind)
+        (List.length parsed);
+      List.iter2
+        (fun (a : Journal.event) (b : Journal.event) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "event %s round-trips"
+               (Journal.name_of_body a.Journal.body))
+            true (a = b))
+        (Journal.events j) parsed
+
+let journal_writer_streams_past_eviction () =
+  let j = Journal.create ~capacity:2 () in
+  let lines = ref [] in
+  Journal.set_writer j (Some (fun line -> lines := line :: !lines));
+  for i = 1 to 8 do
+    Journal.record j ~ts:(Time.ns i)
+      (Journal.Phase_marker { name = string_of_int i; detail = "" })
+  done;
+  Journal.set_writer j None;
+  Journal.record j ~ts:(Time.ns 9)
+    (Journal.Phase_marker { name = "9"; detail = "" });
+  (* The ring kept 2 events but the writer saw all 8 (and none after
+     being detached); each streamed line is itself valid NDJSON. *)
+  Alcotest.(check int) "ring bounded" 2 (Journal.length j);
+  Alcotest.(check int) "writer saw every event" 8 (List.length !lines);
+  List.iter
+    (fun line ->
+      match Result.bind (Json.of_string line) Journal.event_of_json with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad streamed line %S: %s" line e)
+    !lines
+
+let journal_ndjson_tolerates_unknown_and_blank () =
+  let input =
+    String.concat "\n"
+      [
+        {|{"ts":1000,"src":"collector","ev":"congestion_detected","corr":1,"switch":3,"port":1,"gbps":9.0,"capacity_gbps":10.0,"flows":2}|};
+        "";
+        {|{"ts":2000,"src":"future","ev":"not_yet_invented","corr":1,"payload":42}|};
+      ]
+  in
+  (match Journal.of_ndjson input with
+  | Error e -> Alcotest.failf "should tolerate unknown events: %s" e
+  | Ok [ known; unknown ] ->
+      (match known.Journal.body with
+      | Journal.Congestion_detected { switch = 3; port = 1; flows = 2; _ } ->
+          ()
+      | _ -> Alcotest.fail "known event misparsed");
+      (match unknown.Journal.body with
+      | Journal.Custom { source = "future"; name = "not_yet_invented"; args }
+        ->
+          Alcotest.(check (option int))
+            "payload preserved" (Some 42)
+            (Option.bind (List.assoc_opt "payload" args) Json.to_int_opt)
+      | _ -> Alcotest.fail "unknown event should parse as Custom");
+      Alcotest.(check (option int))
+        "corr preserved on unknown" (Some 1) unknown.Journal.corr
+  | Ok evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  match Journal.of_ndjson {|{"src":"x","ev":"y"}|} with
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e >= 4 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "event without ts must not parse"
+
+(* ---- timeseries ---- *)
+
+let timeseries_sampling_roundtrip () =
+  let ts = Timeseries.create ~interval:(Time.ms 1) () in
+  let x = ref 0.0 in
+  Timeseries.add_series ts ~name:"x" (fun () -> !x);
+  Timeseries.add_series ts ~name:"x_sq" (fun () -> !x *. !x);
+  (* Drive from a real engine through the scheduler capability, like
+     Recorder does. *)
+  let engine = Engine.create () in
+  Engine.every engine ~period:(Time.us 250) (fun () -> x := !x +. 0.25);
+  Timeseries.start ts
+    ~every:(fun ~period f -> Engine.every engine ~period f)
+    ~clock:(fun () -> Engine.now engine);
+  Engine.run ~until:(Time.ms 4) engine;
+  Alcotest.(check int) "one row per interval" 4
+    (List.length (Timeseries.rows ts));
+  Alcotest.(check (list string))
+    "names in registration order" [ "x"; "x_sq" ] (Timeseries.names ts);
+  match Timeseries.of_csv (Timeseries.to_csv ts) with
+  | Error e -> Alcotest.failf "CSV parse error: %s" e
+  | Ok (names, rows) ->
+      Alcotest.(check (list string)) "names survive CSV" [ "x"; "x_sq" ] names;
+      List.iter2
+        (fun (t_ns, orig) (t_s, parsed) ->
+          check_float "time in seconds" (Time.to_float_s t_ns) t_s;
+          Alcotest.(check int) "width" (Array.length orig)
+            (Array.length parsed);
+          Array.iteri
+            (fun i v -> check_float "cell round-trips" v parsed.(i))
+            orig)
+        (Timeseries.rows ts) rows
+
+let timeseries_late_series_nan_padding () =
+  let ts = Timeseries.create ~interval:(Time.ms 1) () in
+  Timeseries.add_series ts ~name:"a" (fun () -> 1.0);
+  Timeseries.sample ts ~now:(Time.ms 1);
+  (* A series registered after sampling started: earlier rows export as
+     nan in its column. *)
+  Timeseries.add_series ts ~name:"b" (fun () -> 2.0);
+  Timeseries.sample ts ~now:(Time.ms 2);
+  (match Timeseries.of_csv (Timeseries.to_csv ts) with
+  | Error e -> Alcotest.failf "CSV parse error: %s" e
+  | Ok (names, rows) -> (
+      Alcotest.(check (list string)) "both columns" [ "a"; "b" ] names;
+      match rows with
+      | [ (_, r1); (_, r2) ] ->
+          check_float "row1 a" 1.0 r1.(0);
+          Alcotest.(check bool) "row1 b is nan" true (Float.is_nan r1.(1));
+          check_float "row2 b" 2.0 r2.(1)
+      | _ -> Alcotest.fail "expected 2 rows"));
+  Alcotest.check_raises "comma in series name rejected"
+    (Invalid_argument "Timeseries.add_series: name contains ',' or newline")
+    (fun () -> Timeseries.add_series ts ~name:"bad,name" (fun () -> 0.0))
+
+(* ---- inspect: loop reconstruction ---- *)
+
+let inspect_rebuilds_loops () =
+  let ev ts corr body = { Journal.ts; corr = Some corr; body } in
+  let flow = "10.0.0.1:1 > 10.0.0.2:2/tcp" in
+  let events =
+    [
+      (* Loop 1: all five stages. *)
+      ev (Time.us 1000) 1
+        (Journal.Congestion_detected
+           { switch = 0; port = 1; gbps = 9.0; capacity_gbps = 10.0; flows = 1 });
+      ev (Time.us 1200) 1 (Journal.Controller_notified { switch = 0; port = 1 });
+      ev (Time.us 1200) 1
+        (Journal.Reroute_decision
+           {
+             flow;
+             old_mac = "02:00:00:00:00:02";
+             new_mac = "02:01:00:00:00:02";
+             bottleneck_gbps = 8.0;
+             mechanism = "arp";
+           });
+      ev (Time.us 1400) 1 (Journal.Reroute_install { flow; mechanism = "arp" });
+      ev (Time.us 3500) 1
+        (Journal.Reroute_effective
+           { flow; new_mac = "02:01:00:00:00:02"; switch = 0 });
+      (* Loop 2: congestion notified but no reroute. *)
+      ev (Time.us 5000) 2
+        (Journal.Congestion_detected
+           { switch = 1; port = 2; gbps = 8.0; capacity_gbps = 10.0; flows = 1 });
+      ev (Time.us 5200) 2 (Journal.Controller_notified { switch = 1; port = 2 });
+      (* A second reroute of the same flow: a flap. *)
+      ev (Time.us 9000) 3
+        (Journal.Congestion_detected
+           { switch = 2; port = 0; gbps = 9.9; capacity_gbps = 10.0; flows = 1 });
+      ev (Time.us 9100) 3 (Journal.Controller_notified { switch = 2; port = 0 });
+      ev (Time.us 9100) 3
+        (Journal.Reroute_decision
+           {
+             flow;
+             old_mac = "02:01:00:00:00:02";
+             new_mac = "02:00:00:00:00:02";
+             bottleneck_gbps = 6.0;
+             mechanism = "arp";
+           });
+    ]
+  in
+  let loops = Inspect.loops events in
+  Alcotest.(check int) "three loops" 3 (List.length loops);
+  (match loops with
+  | [ l1; l2; l3 ] ->
+      Alcotest.(check int) "ordered by detect" 1 l1.Inspect.corr;
+      Alcotest.(check bool) "loop 1 complete" true (Inspect.complete l1);
+      Alcotest.(check (option string)) "loop 1 flow" (Some flow)
+        l1.Inspect.flow;
+      Alcotest.(check (option int))
+        "loop 1 total = detect -> effective" (Some (Time.us 2500))
+        (Inspect.total l1);
+      Alcotest.(check (option string)) "loop 2 has no reroute" None
+        l2.Inspect.flow;
+      Alcotest.(check bool) "loop 2 incomplete" false (Inspect.complete l2);
+      Alcotest.(check (option int)) "loop 2 notify stamp"
+        (Some (Time.us 5200))
+        l2.Inspect.notify;
+      Alcotest.(check bool) "loop 3 incomplete (no install)" false
+        (Inspect.complete l3)
+  | _ -> Alcotest.fail "unreachable");
+  (* Stage durations cover only the complete loop. *)
+  List.iter
+    (fun (stage, ms) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: one complete loop" stage)
+        1 (List.length ms))
+    (Inspect.stage_durations loops);
+  (match List.assoc_opt "detect->effective" (Inspect.stage_durations loops) with
+  | Some [ total_ms ] -> check_float "total in ms" 2.5 total_ms
+  | _ -> Alcotest.fail "missing detect->effective");
+  Alcotest.(check (list (pair string int)))
+    "flap counts" [ (flow, 2) ] (Inspect.flap_counts events);
+  Alcotest.(check (option int))
+    "event counts" (Some 3)
+    (List.assoc_opt "congestion_detected" (Inspect.count_events events))
+
+let inspect_estimate_errors () =
+  let names = [ "link:s0.p1:gbps"; "true:f1"; "est:f1"; "true:f2"; "est:f2" ] in
+  let rows =
+    [
+      (* f1 estimated at half its true rate; f2 perfectly. The nan
+         estimate row and the below-threshold truth row are skipped. *)
+      (0.001, [| 9.0; 8.0; 4.0; 2.0; 2.0 |]);
+      (0.002, [| 9.0; 8.0; 4.0; 2.0; 2.0 |]);
+      (0.003, [| 9.0; 8.0; Float.nan; 0.01; 5.0 |]);
+    ]
+  in
+  match Inspect.estimate_errors ~names ~rows with
+  | [ ("f1", e1); ("f2", e2) ] ->
+      check_float "f1 error 50%" 0.5 e1;
+      check_float "f2 error 0%" 0.0 e2
+  | errors ->
+      Alcotest.failf "expected f1 and f2, got %d entries"
+        (List.length errors)
+
+(* ---- qcheck: JSON codec is the identity on printable documents ---- *)
+
+(* Finite floats only (nan/inf deliberately print as null) and valid
+   UTF-8 strings exercising quotes, backslashes, control characters and
+   multi-byte sequences. *)
+let json_gen =
+  let open QCheck.Gen in
+  let str =
+    map (String.concat "")
+      (list_size (int_bound 8)
+         (oneofl
+            [
+              "a"; "Z"; "0"; " "; "\""; "\\"; "/"; "\n"; "\t"; "\r"; "\b";
+              "\012"; "{"; "}"; "["; "]"; ","; ":"; "\xc3\xa9" (* é *);
+              "\xe2\x82\xac" (* EUR sign *); "\xe4\xb8\xad" (* CJK *);
+            ]))
+  in
+  let finite_float =
+    map2
+      (fun m e -> Float.ldexp (float_of_int m) e)
+      (int_range (-100_000) 100_000)
+      (int_range (-30) 30)
+  in
+  let big_int =
+    frequency
+      [ (3, small_signed_int); (1, oneofl [ max_int; min_int; 0; 1 lsl 53 ]) ]
+  in
+  let scalar =
+    oneof
+      [
+        map (fun i -> Json.Int i) big_int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.String s) str;
+        map (fun b -> Json.Bool b) bool;
+        return Json.Null;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map (fun l -> Json.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4) (pair str (self (n / 2)))) );
+             ])
+
+let json_print_parse_id =
+  QCheck.Test.make ~name:"json: parse (print doc) = doc" ~count:500
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun doc ->
+      match Json.of_string (Json.to_string doc) with
+      | Ok parsed -> parsed = doc
+      | Error _ -> false)
 
 (* ---- exporters ---- *)
 
@@ -363,6 +786,48 @@ let flusher_writes_and_schedules () =
   Alcotest.check_raises "non-positive period rejected"
     (Invalid_argument "Flusher.schedule: period must be positive") (fun () ->
       Flusher.schedule fl ~period:0 ~every:(fun ~period:_ _ -> ()))
+
+let flusher_final_flush_captures_end_state () =
+  (* Metrics bumped after the last scheduled flush would be lost if the
+     run did not end with an explicit flush: the snapshot file must
+     reflect the final value after it. *)
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~subsystem:"f" ~name:"c" () in
+  let path = Filename.temp_file "planck_final" ".json" in
+  let fl =
+    Flusher.create ~registry:reg ~outputs:[ Flusher.Metrics_json path ] ()
+  in
+  let engine = Engine.create () in
+  Flusher.schedule fl ~period:(Time.ms 1)
+    ~every:(fun ~period f -> Engine.every engine ~period f);
+  Engine.schedule engine ~delay:(Time.us 2500) (fun () ->
+      Metrics.Counter.add c 5);
+  Engine.run ~until:(Time.us 2600) engine;
+  let value_on_disk () =
+    let ic = open_in path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string contents with
+    | Error e -> Alcotest.failf "snapshot invalid: %s" e
+    | Ok doc ->
+        let rows =
+          Option.value ~default:[]
+            (Option.bind (Json.member doc "metrics") Json.to_list_opt)
+        in
+        List.find_map
+          (fun r ->
+            match Option.bind (Json.member r "name") Json.to_string_opt with
+            | Some "c" -> Option.bind (Json.member r "value") Json.to_int_opt
+            | _ -> None)
+          rows
+  in
+  Alcotest.(check int) "two periodic flushes" 2 (Flusher.flushes fl);
+  Alcotest.(check (option int))
+    "last periodic snapshot predates the bump" (Some 0) (value_on_disk ());
+  Flusher.flush fl;
+  Alcotest.(check (option int))
+    "final flush captures end-of-run state" (Some 5) (value_on_disk ());
+  Sys.remove path
 
 (* ---- engine wiring into the default registry ---- *)
 
@@ -429,6 +894,27 @@ let tests =
     Alcotest.test_case "export shapes (json + csv)" `Quick export_shapes;
     Alcotest.test_case "flusher writes and schedules" `Quick
       flusher_writes_and_schedules;
+    Alcotest.test_case "flusher final flush captures end state" `Quick
+      flusher_final_flush_captures_end_state;
     Alcotest.test_case "engine feeds the default registry" `Quick
       engine_default_registry;
+    Alcotest.test_case "journal disabled flag and corr minting" `Quick
+      journal_disabled_and_corr;
+    Alcotest.test_case "journal ring bounded eviction" `Quick
+      journal_ring_eviction;
+    Alcotest.test_case "journal NDJSON round-trips every event kind" `Quick
+      journal_ndjson_roundtrip;
+    Alcotest.test_case "journal writer streams past eviction" `Quick
+      journal_writer_streams_past_eviction;
+    Alcotest.test_case "journal NDJSON tolerates unknown/blank lines" `Quick
+      journal_ndjson_tolerates_unknown_and_blank;
+    Alcotest.test_case "timeseries sampling and CSV round-trip" `Quick
+      timeseries_sampling_roundtrip;
+    Alcotest.test_case "timeseries late series pad with nan" `Quick
+      timeseries_late_series_nan_padding;
+    Alcotest.test_case "inspect rebuilds control loops" `Quick
+      inspect_rebuilds_loops;
+    Alcotest.test_case "inspect pairs true/est columns" `Quick
+      inspect_estimate_errors;
+    QCheck_alcotest.to_alcotest json_print_parse_id;
   ]
