@@ -26,17 +26,25 @@ let estimate_demands ~link_rate flows =
   let cells =
     List.map (fun f -> { flow = f; demand = f.rate; limited = false }) flows
   in
-  let senders = group_by (fun c -> host_of c.flow.key.Flow_key.src_ip) cells in
+  (* Host-sorted group lists: the waterfill updates mutable demands, so
+     visiting groups in hash order would make convergence (and the final
+     demands) depend on bucket layout. *)
+  let sorted_groups tbl =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) (List.of_seq (Hashtbl.to_seq tbl))
+  in
+  let senders =
+    sorted_groups (group_by (fun c -> host_of c.flow.key.Flow_key.src_ip) cells)
+  in
   let receivers =
-    group_by (fun c -> host_of c.flow.key.Flow_key.dst_ip) cells
+    sorted_groups (group_by (fun c -> host_of c.flow.key.Flow_key.dst_ip) cells)
   in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < 50 do
     changed := false;
     incr rounds;
-    Hashtbl.iter
-      (fun _ cs ->
+    List.iter
+      (fun (_, cs) ->
         let fixed, free = List.partition (fun c -> c.limited) cs in
         let used = List.fold_left (fun a c -> a +. c.demand) 0.0 fixed in
         match free with
@@ -53,8 +61,8 @@ let estimate_demands ~link_rate flows =
                 end)
               free)
       senders;
-    Hashtbl.iter
-      (fun _ cs ->
+    List.iter
+      (fun (_, cs) ->
         let total = List.fold_left (fun a c -> a +. c.demand) 0.0 cs in
         if total > link_rate +. 1.0 then begin
           let share = link_rate /. float_of_int (List.length cs) in
@@ -115,5 +123,5 @@ let global_first_fit ~routing ~link_rate flows =
     | _ -> ()
   in
   List.iter place
-    (List.sort (fun (_, a) (_, b) -> compare b a) demands);
+    (List.sort (fun (_, a) (_, b) -> Float.compare b a) demands);
   List.rev !moves

@@ -1,0 +1,7 @@
+(** Comparator schemes: polling-based traffic engineering and the
+    published measurement-latency figures of Table 1. *)
+
+module Placement = Placement
+module Poller = Poller
+module Sflow_te = Sflow_te
+module Latency_models = Latency_models

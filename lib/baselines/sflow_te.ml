@@ -60,14 +60,19 @@ let counts_at fabric ~switch (key : Flow_key.t) =
 let control_round t =
   t.rounds <- t.rounds + 1;
   let now = Engine.now t.engine in
+  (* Key-sorted fold: the elephant list's order is a tie-break in the
+     greedy placement below, so hash order would leak into reroutes. *)
   let elephants =
-    Hashtbl.fold
-      (fun key mac acc ->
+    List.fold_left
+      (fun acc (key, mac) ->
         let rate = Estimator.flow_rate t.estimator ~now key in
         if rate >= t.config.elephant_threshold *. t.link_rate then
           { Placement.key; rate; current_mac = mac } :: acc
         else acc)
-      t.seen []
+      []
+      (List.sort
+         (fun (a, _) (b, _) -> Flow_key.compare a b)
+         (List.of_seq (Hashtbl.to_seq t.seen)))
   in
   List.iter
     (fun (flow, mac) ->

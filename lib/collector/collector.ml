@@ -306,6 +306,7 @@ let process t (record : Sink.record) =
                   (Journal.Estimate_update
                      {
                        switch = t.switch;
+                       (* planck-lint: allow hot-alloc -- journal-enabled runs only; the disabled path pays the one branch above *)
                        flow = Format.asprintf "%a" Flow_key.pp key;
                        gbps = rate /. 1e9;
                      });

@@ -52,7 +52,10 @@ let find t key = Flow_key.Table.find_opt t.entries key
 
 let active t ~now =
   let live = ref [] and dead = ref [] in
-  Flow_key.Table.iter
+  (* Sorted so the surviving-entry list (and everything downstream: the
+     congestion event's flow list, TE tie-breaks) is independent of
+     hash-bucket layout. *)
+  Flow_key.Table.iter_sorted
     (fun key entry ->
       if now - entry.last_seen <= t.timeout then live := entry :: !live
       else dead := key :: !dead)

@@ -1,0 +1,7 @@
+(** The Planck collector: line-rate sample processing, sequence-number
+    rate estimation, link utilization, congestion events, and
+    vantage-point capture. *)
+
+module Rate_estimator = Rate_estimator
+module Flow_table = Flow_table
+module Collector = Collector

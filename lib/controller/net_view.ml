@@ -56,14 +56,18 @@ let observe t ~now ~key ~rate ~dst_mac =
 
 let expire t ~now =
   let dead = ref [] in
-  Flow_key.Table.iter
+  Flow_key.Table.iter_sorted
     (fun key flow ->
       if now - flow.last_heard > t.flow_timeout then dead := key :: !dead)
     t.flows;
   List.iter (Flow_key.Table.remove t.flows) !dead
 
 let find t key = Flow_key.Table.find_opt t.flows key
-let live_flows t = Flow_key.Table.fold (fun _ flow acc -> flow :: acc) t.flows []
+
+(* Key-sorted so TE's stable sort by rate breaks ties deterministically
+   instead of by hash-bucket layout. *)
+let live_flows t =
+  Flow_key.Table.fold_sorted (fun _ flow acc -> flow :: acc) t.flows []
 let size t = Flow_key.Table.length t.flows
 
 let links_for t ~src ~dst_mac =
@@ -88,8 +92,11 @@ let bottleneck t ~capacity ~exclude ~links =
   match links with
   | [] -> 0.0
   | links ->
+      (* Sorted fold: float addition is order-sensitive, so summing in
+         hash order would make the load (and reroute choices near the
+         threshold) nondeterministic. *)
       let load link =
-        Flow_key.Table.fold
+        Flow_key.Table.fold_sorted
           (fun _ flow acc ->
             if flow == exclude then acc
             else if List.mem link (path_links t flow) then acc +. flow.rate

@@ -1,0 +1,7 @@
+(** The Planck SDN controller and its traffic-engineering
+    application. *)
+
+module Net_view = Net_view
+module Reroute = Reroute
+module Te = Te
+module Controller = Controller

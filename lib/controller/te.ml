@@ -190,7 +190,7 @@ let process t (event : Collector.congestion) =
      the least reordering cost to established traffic (and makes the
      greedy placement deterministic). *)
   let flows =
-    List.sort (fun a b -> compare a.Net_view.rate b.Net_view.rate) flows
+    List.sort (fun a b -> Float.compare a.Net_view.rate b.Net_view.rate) flows
   in
   List.iter (greedy_route_flow t ~corr:event.Collector.corr) flows;
   Trace.span_end Trace.default

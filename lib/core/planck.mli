@@ -1,0 +1,40 @@
+(** Planck: millisecond-scale monitoring and control for commodity
+    networks — an OCaml reproduction of Rasley et al., SIGCOMM 2014.
+
+    Entry points:
+    - {!Testbed} builds a simulated network (fat-tree / single switch /
+      Jellyfish) with PAST + shadow-MAC routing installed;
+    - {!Scheme} deploys a monitoring/TE scheme on it (Static, PlanckTE,
+      polling baselines);
+    - {!Experiment} runs the paper's workloads and reports per-flow
+      results;
+    - {!Recorder} samples ground-truth time-series (link utilization,
+      buffers, true vs estimated flow rates) from a running testbed.
+
+    The underlying layers are re-exported for direct use: the
+    discrete-event simulator ({!Netsim}), packet model ({!Packet_model}),
+    TCP ({!Tcp}), topologies ({!Topology}), the Planck collector
+    ({!Collector_lib}), the SDN controller and TE app
+    ({!Controller_lib}), the OpenFlow and sFlow substrates, workloads,
+    and baselines. *)
+
+module Testbed = Testbed
+module Scheme = Scheme
+module Experiment = Experiment
+module Recorder = Recorder
+module Scalability = Scalability
+
+(** {2 Re-exported layers} *)
+
+module Util = Planck_util
+module Telemetry = Planck_telemetry
+module Packet_model = Planck_packet
+module Netsim = Planck_netsim
+module Tcp = Planck_tcp
+module Topology = Planck_topology
+module Openflow = Planck_openflow
+module Sflow = Planck_sflow
+module Collector_lib = Planck_collector
+module Controller_lib = Planck_controller
+module Baselines = Planck_baselines
+module Workloads = Planck_workloads

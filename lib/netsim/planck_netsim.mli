@@ -1,0 +1,15 @@
+(** Packet-level discrete-event network simulator.
+
+    This is the substrate standing in for the paper's physical testbed:
+    commodity switches with shared buffers and port mirroring
+    ({!Switch}), Linux-like end hosts ({!Host}), netmap-style capture
+    endpoints ({!Sink}), all driven by a deterministic event loop
+    ({!Engine}). *)
+
+module Engine = Engine
+module Buffer_pool = Buffer_pool
+module Txport = Txport
+module Switch = Switch
+module Host = Host
+module Sink = Sink
+module Wiring = Wiring

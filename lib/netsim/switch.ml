@@ -82,7 +82,7 @@ let create engine ~name ~ports ~config ?prng () =
   let prng =
     match prng with
     | Some prng -> prng
-    | None -> Prng.create ~seed:(Hashtbl.hash name)
+    | None -> Prng.create ~seed:(Prng.seed_of_string name)
   in
   {
     engine;
@@ -130,6 +130,7 @@ let engine t = t.engine
 
 let check_port t port label =
   if port < 0 || port >= t.nports then
+    (* planck-lint: allow hot-alloc -- formats only on the raise path *)
     invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" label port)
 
 let connect t ~port ~rate ~prop_delay ~deliver =

@@ -44,7 +44,7 @@ let attach switch =
   t
 
 let snapshot t =
-  Flow_key.Table.fold
+  Flow_key.Table.fold_sorted
     (fun key cell acc ->
       {
         key;

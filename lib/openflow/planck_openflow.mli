@@ -1,0 +1,8 @@
+(** Simplified OpenFlow substrate: control-channel latency model,
+    per-flow counters (the slow statistics path), and
+    controller-initiated actions (packet-out, rule install, ARP
+    spoofing). *)
+
+module Control_channel = Control_channel
+module Flow_stats = Flow_stats
+module Actions = Actions

@@ -33,9 +33,38 @@ let reverse t =
     protocol = t.protocol;
   }
 
-let equal (a : t) b = a = b
-let compare (a : t) b = compare a b
-let hash (t : t) = Hashtbl.hash t
+let equal (a : t) (b : t) =
+  Ipv4_addr.equal a.src_ip b.src_ip
+  && Ipv4_addr.equal a.dst_ip b.dst_ip
+  && Int.equal a.src_port b.src_port
+  && Int.equal a.dst_port b.dst_port
+  && Int.equal a.protocol b.protocol
+
+let compare (a : t) (b : t) =
+  match Ipv4_addr.compare a.src_ip b.src_ip with
+  | 0 -> (
+      match Ipv4_addr.compare a.dst_ip b.dst_ip with
+      | 0 -> (
+          match Int.compare a.src_port b.src_port with
+          | 0 -> (
+              match Int.compare a.dst_port b.dst_port with
+              | 0 -> Int.compare a.protocol b.protocol
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* Multiplicative mixing over the five fields; every field already fits
+   in an int, so no structure walk and no float boxing. *)
+let hash (t : t) =
+  let mix h x = ((h * 486187739) + x) land max_int in
+  mix
+    (mix
+       (mix
+          (mix (mix 17 (Ipv4_addr.to_int t.src_ip)) (Ipv4_addr.to_int t.dst_ip))
+          t.src_port)
+       t.dst_port)
+    t.protocol
 
 let pp ppf t =
   Format.fprintf ppf "%a:%d > %a:%d/%s" Ipv4_addr.pp t.src_ip t.src_port
@@ -52,5 +81,19 @@ module Key = struct
   let hash = hash
 end
 
-module Table = Hashtbl.Make (Key)
+module Table = struct
+  include Hashtbl.Make (Key)
+
+  (* Hash-order iteration can leak bucket layout into event ordering;
+     these are the deterministic alternatives the planck-lint
+     hashtbl-iteration rule points at. *)
+  let sorted_bindings t =
+    List.sort (fun (a, _) (b, _) -> compare a b) (List.of_seq (to_seq t))
+
+  let iter_sorted f t = List.iter (fun (k, v) -> f k v) (sorted_bindings t)
+
+  let fold_sorted f t init =
+    List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings t)
+end
+
 module Map = Map.Make (Key)

@@ -22,5 +22,16 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
-module Table : Hashtbl.S with type key = t
+module Table : sig
+  include Hashtbl.S with type key = t
+
+  val sorted_bindings : 'a t -> (key * 'a) list
+  (** Bindings in ascending key order — hash-order iteration leaks
+      bucket layout into event ordering; this is the deterministic
+      alternative. *)
+
+  val iter_sorted : (key -> 'a -> unit) -> 'a t -> unit
+  val fold_sorted : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+end
+
 module Map : Map.S with type key = t

@@ -25,7 +25,7 @@ module Tcp_flags = struct
       ack = b land 0x10 <> 0;
     }
 
-  let equal (a : t) b = a = b
+  let equal (a : t) (b : t) = Int.equal (to_byte a) (to_byte b)
 
   let pp ppf t =
     let letters =
@@ -43,7 +43,10 @@ module Eth = struct
   let ethertype_ipv4 = 0x0800
   let ethertype_arp = 0x0806
   let size = 14
-  let equal (a : t) b = a = b
+
+  let equal (a : t) (b : t) =
+    Mac.equal a.src b.src && Mac.equal a.dst b.dst
+    && Int.equal a.ethertype b.ethertype
 
   let pp ppf t =
     Format.fprintf ppf "%a -> %a (0x%04x)" Mac.pp t.src Mac.pp t.dst
@@ -62,7 +65,18 @@ module Arp = struct
   }
 
   let size = 28
-  let equal (a : t) b = a = b
+
+  let equal_op a b =
+    match (a, b) with
+    | Request, Request | Reply, Reply -> true
+    | (Request | Reply), _ -> false
+
+  let equal (a : t) (b : t) =
+    equal_op a.op b.op
+    && Mac.equal a.sender_mac b.sender_mac
+    && Ipv4_addr.equal a.sender_ip b.sender_ip
+    && Mac.equal a.target_mac b.target_mac
+    && Ipv4_addr.equal a.target_ip b.target_ip
 
   let pp ppf t =
     let op = match t.op with Request -> "who-has" | Reply -> "is-at" in
@@ -82,7 +96,13 @@ module Ipv4 = struct
   let protocol_tcp = 6
   let protocol_udp = 17
   let size = 20
-  let equal (a : t) b = a = b
+
+  let equal (a : t) (b : t) =
+    Ipv4_addr.equal a.src b.src
+    && Ipv4_addr.equal a.dst b.dst
+    && Int.equal a.protocol b.protocol
+    && Int.equal a.ttl b.ttl
+    && Int.equal a.total_length b.total_length
 
   let pp ppf t =
     Format.fprintf ppf "%a -> %a proto=%d len=%d" Ipv4_addr.pp t.src
@@ -112,7 +132,16 @@ module Tcp = struct
         let option_bytes = 2 + (8 * List.length blocks) in
         size + ((option_bytes + 3) / 4 * 4)
 
-  let equal (a : t) b = a = b
+  let equal_sack_block (a1, a2) (b1, b2) = Int.equal a1 b1 && Int.equal a2 b2
+
+  let equal (a : t) (b : t) =
+    Int.equal a.src_port b.src_port
+    && Int.equal a.dst_port b.dst_port
+    && Int.equal a.seq b.seq
+    && Int.equal a.ack_seq b.ack_seq
+    && Tcp_flags.equal a.flags b.flags
+    && Int.equal a.window b.window
+    && List.equal equal_sack_block a.sack b.sack
 
   let pp ppf t =
     Format.fprintf ppf "tcp %d -> %d seq=%d ack=%d [%a]" t.src_port t.dst_port
@@ -123,7 +152,11 @@ module Udp = struct
   type t = { src_port : int; dst_port : int; length : int }
 
   let size = 8
-  let equal (a : t) b = a = b
+
+  let equal (a : t) (b : t) =
+    Int.equal a.src_port b.src_port
+    && Int.equal a.dst_port b.dst_port
+    && Int.equal a.length b.length
 
   let pp ppf t =
     Format.fprintf ppf "udp %d -> %d len=%d" t.src_port t.dst_port t.length

@@ -23,7 +23,9 @@ let to_string t =
 let host i = of_int (0x0A00_0000 lor (i land 0xFFFF))
 let equal = Int.equal
 let compare = Int.compare
-let hash = Hashtbl.hash
+
+(* Already a 32-bit int; identity beats a structural hash walk. *)
+let hash (t : t) = t land max_int
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
 let host_id t =

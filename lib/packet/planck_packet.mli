@@ -1,0 +1,10 @@
+(** Packet model: addresses, protocol headers, wire (de)serialization,
+    flow keys, and a pcap writer for the vantage-point application. *)
+
+module Mac = Mac
+module Ipv4_addr = Ipv4_addr
+module Headers = Headers
+module Packet = Packet
+module Flow_key = Flow_key
+module Seq32 = Seq32
+module Pcap = Pcap

@@ -1,0 +1,5 @@
+(** sFlow baseline: control-plane-limited 1-in-N sampling and
+    multiply-by-N estimation. *)
+
+module Agent = Agent
+module Estimator = Estimator

@@ -243,7 +243,7 @@ and update_rtt t sample_s =
 
 and insert_sorted intervals (start, stop) =
   let sorted =
-    List.sort (fun (a, _) (b, _) -> compare a b) ((start, stop) :: intervals)
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) ((start, stop) :: intervals)
   in
   let rec coalesce = function
     | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
@@ -508,7 +508,7 @@ let sender_receive t packet =
 let insert_interval intervals (start, stop) =
   let sorted =
     List.sort
-      (fun (a, _) (b, _) -> compare a b)
+      (fun (a, _) (b, _) -> Int.compare a b)
       ((start, stop) :: intervals)
   in
   let rec coalesce = function

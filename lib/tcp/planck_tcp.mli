@@ -1,0 +1,4 @@
+(** Packet-level TCP (Reno/NewReno) over the simulated network. *)
+
+module Endpoint = Endpoint
+module Flow = Flow

@@ -98,7 +98,12 @@ let loops events =
               | _ -> None))
       (List.rev !order)
   in
-  List.stable_sort (fun a b -> compare (a.detect, a.corr) (b.detect, b.corr)) ls
+  List.stable_sort
+    (fun a b ->
+      match Int.compare a.detect b.detect with
+      | 0 -> Int.compare a.corr b.corr
+      | c -> c)
+    ls
 
 let stage_names =
   [
@@ -127,7 +132,8 @@ let stage_durations ls =
 
 let desc_counts tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb))
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match Int.compare b a with 0 -> String.compare ka kb | c -> c)
 
 let flap_counts events =
   let tbl = Hashtbl.create 16 in

@@ -221,7 +221,12 @@ let snapshot_entry entry =
 let snapshot reg =
   Hashtbl.fold (fun _ entry acc -> snapshot_entry entry :: acc) reg.entries []
   |> List.sort (fun a b ->
-         compare (a.subsystem, a.name, a.label) (b.subsystem, b.name, b.label))
+         match String.compare a.subsystem b.subsystem with
+         | 0 -> (
+             match String.compare a.name b.name with
+             | 0 -> String.compare a.label b.label
+             | c -> c)
+         | c -> c)
 
 let reset reg =
   Hashtbl.iter

@@ -1,0 +1,25 @@
+(** Always-on observability for the Planck reproduction: a typed metric
+    registry ({!Metrics}), sim-time tracing with Chrome [trace_event]
+    export ({!Trace}), a correlated cross-layer event journal
+    ({!Journal}) with its loop analyzer ({!Inspect}), a ground-truth
+    time-series recorder ({!Timeseries}), snapshot writers ({!Export}),
+    periodic flushing ({!Flusher}), a sim-time [Logs] reporter
+    ({!Reporter}), and the self-contained JSON codec they share
+    ({!Json}).
+
+    Instrumentation is compiled into the simulator's hot paths but
+    guarded by per-registry enabled flags that default to off, so an
+    uninstrumented run pays one branch per tracepoint. Experiments and
+    the CLI/bench [--metrics-out] / [--trace-out] / [--journal-out]
+    flags flip the process-wide {!Metrics.default} / {!Trace.default} /
+    {!Journal.default} on. *)
+
+module Json = Json
+module Metrics = Metrics
+module Trace = Trace
+module Journal = Journal
+module Timeseries = Timeseries
+module Inspect = Inspect
+module Export = Export
+module Flusher = Flusher
+module Reporter = Reporter

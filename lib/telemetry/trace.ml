@@ -117,7 +117,7 @@ let to_chrome_json t =
      ascending timestamps, and a stable sort keeps begin-before-end for
      equal stamps. *)
   let evs =
-    List.stable_sort (fun a b -> compare a.ts b.ts) (events t)
+    List.stable_sort (fun a b -> Int.compare a.ts b.ts) (events t)
   in
   (* Each category renders as its own Perfetto process: assign pids by
      first appearance and name them with M-phase process_name metadata,

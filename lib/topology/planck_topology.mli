@@ -1,0 +1,7 @@
+(** Network topologies and multipath (PAST / shadow-MAC) routing. *)
+
+module Fabric = Fabric
+module Fat_tree = Fat_tree
+module Single_switch = Single_switch
+module Jellyfish = Jellyfish
+module Routing = Routing

@@ -21,8 +21,15 @@ let fabric t = t.fabric
 let alts t = t.alts
 
 let install t =
-  Hashtbl.iter
-    (fun mac tree ->
+  (* MAC-sorted so rule-install order (and any tap or journal watching
+     it) is reproducible run to run. *)
+  let trees =
+    List.sort
+      (fun (a, _) (b, _) -> Mac.compare a b)
+      (List.of_seq (Hashtbl.to_seq t.trees))
+  in
+  List.iter
+    (fun (mac, tree) ->
       Array.iteri
         (fun sw out_port ->
           if out_port >= 0 then
@@ -38,7 +45,7 @@ let install t =
           ~from_mac:mac
           ~to_mac:(Mac.host tree.dst_host)
       end)
-    t.trees
+    trees
 
 let mac_for t ~dst ~alt =
   if alt < 0 || alt >= t.alts then invalid_arg "Routing.mac_for: bad alternate";

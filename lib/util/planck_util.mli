@@ -1,0 +1,11 @@
+(** Shared utilities for the Planck reproduction: simulated time, event
+    heap, ring buffers, deterministic PRNG, statistics, data rates and
+    table rendering. *)
+
+module Time = Time
+module Heap = Heap
+module Ring = Ring
+module Prng = Prng
+module Stats = Stats
+module Rate = Rate
+module Table = Table

@@ -68,3 +68,14 @@ let derangement t n =
     if fixed 0 then try_once () else a
   in
   try_once ()
+
+(* FNV-1a over the bytes. Unlike [Hashtbl.hash] this is a documented
+   function of the string contents alone, so seeds derived from names
+   stay stable across OCaml releases. *)
+let seed_of_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  Int64.to_int !h land max_int

@@ -44,3 +44,9 @@ val derangement : t -> int -> int array
 (** [permutation] with no fixed points ([p.(i) <> i] for all [i]) —
     used for random-bijection workloads where no host sends to itself.
     Raises [Invalid_argument] if [n < 2]. *)
+
+val seed_of_string : string -> int
+(** FNV-1a of the bytes: a deterministic seed for a named component
+    (e.g. a switch), stable across runs and OCaml releases — unlike
+    [Hashtbl.hash]. *)
+

@@ -17,7 +17,7 @@ let percentile p xs =
   | [] -> nan
   | xs ->
       let a = Array.of_list xs in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       let n = Array.length a in
       if n = 1 then a.(0)
       else begin
@@ -32,7 +32,7 @@ let median xs = percentile 50.0 xs
 
 let cdf xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   List.init n (fun i -> (a.(i), float_of_int (i + 1) /. float_of_int n))
 
@@ -41,7 +41,8 @@ let mean_relative_error ~truth ~estimate =
     invalid_arg "Stats.mean_relative_error: length mismatch";
   let errors =
     List.filter_map
-      (fun (t, e) -> if t = 0.0 then None else Some (abs_float (e -. t) /. t))
+      (fun (t, e) ->
+        if Float.equal t 0.0 then None else Some (abs_float (e -. t) /. t))
       (List.combine truth estimate)
   in
   mean errors

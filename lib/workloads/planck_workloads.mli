@@ -1,0 +1,5 @@
+(** Workload generation (stride, shuffle, random, staggered-prob) and
+    execution. *)
+
+module Generate = Generate
+module Runner = Runner

@@ -1,0 +1,248 @@
+(* planck_lint: one positive and one negative fixture per rule, the
+   suppression syntax, both reporters, and a self-check that the repo's
+   own tree is lint-clean. Fixtures go through Lint_engine.lint_source,
+   which parses from a string — the paths never exist on disk; they only
+   drive rule scoping. *)
+
+module Engine = Planck_lint_lib.Lint_engine
+module Rules = Planck_lint_lib.Lint_rules
+module Report = Planck_lint_lib.Lint_report
+module Finding = Planck_lint_lib.Lint_finding
+module Json = Planck_telemetry.Json
+
+let kept ~path source = fst (Engine.lint_source ~path ~source ())
+let rules_of ~path source = List.map (fun f -> f.Finding.rule) (kept ~path source)
+
+let check_fires name rule ~path source =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires %s" name rule)
+    true
+    (List.mem rule (rules_of ~path source))
+
+let check_clean name ~path source =
+  Alcotest.(check (list string)) (Printf.sprintf "%s is clean" name) []
+    (rules_of ~path source)
+
+(* ---- determinism rules ---- *)
+
+let test_wall_clock () =
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  check_fires "sim code" "wall-clock" ~path:"lib/netsim/clock.ml" src;
+  (* wall time is legal outside the simulator and in telemetry exports *)
+  check_clean "bin code" ~path:"bin/main.ml" src;
+  check_clean "telemetry export" ~path:"lib/telemetry/export.ml" src
+
+let test_ambient_random () =
+  check_fires "global state" "ambient-random" ~path:"lib/netsim/jitter.ml"
+    "let draw () = Random.int 10\n";
+  check_fires "self-init state" "ambient-random" ~path:"lib/netsim/jitter.ml"
+    "let st = Random.State.make_self_init ()\n";
+  check_clean "explicit state" ~path:"lib/netsim/jitter.ml"
+    "let draw st = Random.State.int st 10\n"
+
+let test_hashtbl_iteration () =
+  let src = "let visit f tbl = Hashtbl.iter f tbl\n" in
+  check_fires "Hashtbl.iter" "hashtbl-iteration" ~path:"lib/collector/t.ml" src;
+  check_fires "functor instance" "hashtbl-iteration" ~path:"lib/collector/t.ml"
+    "let visit f tbl = Flow_key.Table.fold f tbl []\n";
+  check_clean "telemetry exempt" ~path:"lib/telemetry/export.ml" src;
+  check_clean "sorted iteration" ~path:"lib/collector/t.ml"
+    "let visit tbl = List.of_seq (Hashtbl.to_seq tbl)\n"
+
+(* ---- hot-path rules ---- *)
+
+let test_poly_compare () =
+  check_fires "bare compare" "poly-compare" ~path:"lib/util/x.ml"
+    "let sort xs = List.sort compare xs\n";
+  check_fires "Stdlib.compare" "poly-compare" ~path:"lib/util/x.ml"
+    "let sort xs = List.sort Stdlib.compare xs\n";
+  check_fires "Hashtbl.hash" "poly-compare" ~path:"lib/util/x.ml"
+    "let h x = Hashtbl.hash x\n";
+  (* a module-local compare shadows the polymorphic one *)
+  check_clean "shadowed compare" ~path:"lib/util/x.ml"
+    "let compare a b = Int.compare a b\nlet sort xs = List.sort compare xs\n";
+  check_clean "outside lib" ~path:"bench/x.ml"
+    "let sort xs = List.sort compare xs\n"
+
+let test_keyed_poly_equal () =
+  let keyed body =
+    "type t = { a : int; b : int }\n"
+    ^ "let compare x y = Int.compare x.a y.a\n" ^ body
+  in
+  check_fires "keyed module" "keyed-poly-equal" ~path:"lib/packet/k.ml"
+    (keyed "let equal x y = x = y\n");
+  (* constants on one side keep structural = acceptable *)
+  check_clean "vs constant" ~path:"lib/packet/k.ml"
+    (keyed "let is_origin x = x.a = 0\n");
+  (* a module with no key functions is not held to the rule *)
+  check_clean "unkeyed module" ~path:"lib/packet/k.ml"
+    "type t = { a : int }\nlet same x y = x = y\n"
+
+let test_float_equality () =
+  check_fires "float literal" "float-equality" ~path:"lib/util/x.ml"
+    "let zero x = x = 0.0\n";
+  check_fires "negated literal" "float-equality" ~path:"lib/util/x.ml"
+    "let neg x = x <> -1.5\n";
+  check_clean "Float.equal" ~path:"lib/util/x.ml"
+    "let zero x = Float.equal x 0.0\n";
+  check_clean "int literal" ~path:"lib/util/x.ml" "let zero x = x = 0\n"
+
+let test_hot_alloc () =
+  let fmt = "Printf.sprintf \"%d\" n" in
+  check_fires "hot function in hot file" "hot-alloc" ~path:"lib/netsim/sw.ml"
+    (Printf.sprintf "let forward n = %s\n" fmt);
+  check_fires "nested in hot function" "hot-alloc" ~path:"lib/tcp/f.ml"
+    (Printf.sprintf "let process_ack n =\n  let msg = %s in\n  msg\n" fmt);
+  (* cold function names and non-hot directories are exempt *)
+  check_clean "cold function" ~path:"lib/netsim/sw.ml"
+    (Printf.sprintf "let describe n = %s\n" fmt);
+  check_clean "cold directory" ~path:"lib/controller/te.ml"
+    (Printf.sprintf "let process n = %s\n" fmt)
+
+(* ---- hygiene rules ---- *)
+
+let test_missing_mli () =
+  let fires path has_mli =
+    List.map (fun f -> f.Finding.rule) (Rules.missing_mli ~path ~has_mli)
+  in
+  Alcotest.(check (list string)) "lib .ml without .mli" [ "missing-mli" ]
+    (fires "lib/util/x.ml" false);
+  Alcotest.(check (list string)) "lib .ml with .mli" [] (fires "lib/util/x.ml" true);
+  Alcotest.(check (list string)) "bin .ml without .mli" []
+    (fires "bin/main.ml" false)
+
+let test_open_lib () =
+  check_fires "whole-library open" "open-lib" ~path:"lib/collector/c.ml"
+    "open Planck_util\nlet x = 1\n";
+  check_clean "submodule open" ~path:"lib/collector/c.ml"
+    "open Planck_util.Time\nlet x = 1\n";
+  check_clean "alias" ~path:"lib/collector/c.ml"
+    "module Time = Planck_util.Time\nlet x = 1\n";
+  check_clean "outside lib" ~path:"bin/main.ml" "open Planck_util\nlet x = 1\n"
+
+let test_ignored_result () =
+  check_fires "ignored result call" "ignored-result" ~path:"lib/util/x.ml"
+    "let f s = ignore (Json.parse s)\n";
+  check_fires "_result suffix" "ignored-result" ~path:"lib/util/x.ml"
+    "let f s = ignore (load_result s)\n";
+  check_clean "ignored plain call" ~path:"lib/util/x.ml"
+    "let f xs = ignore (List.length xs)\n"
+
+let test_parse_error () =
+  let findings = kept ~path:"lib/util/broken.ml" "let x = \n" in
+  Alcotest.(check (list string)) "parse error reported" [ "parse-error" ]
+    (List.map (fun f -> f.Finding.rule) findings)
+
+(* ---- suppression directives ---- *)
+
+let test_suppression () =
+  let src_inline =
+    "(* planck-lint: allow wall-clock -- fixture *)\n\
+     let now () = Unix.gettimeofday ()\n"
+  in
+  let k, s = Engine.lint_source ~path:"lib/netsim/c.ml" ~source:src_inline () in
+  Alcotest.(check int) "allow covers next line: kept" 0 (List.length k);
+  Alcotest.(check int) "allow covers next line: suppressed" 1 (List.length s);
+  (* the directive names a specific rule; others still fire *)
+  let src_wrong =
+    "(* planck-lint: allow hot-alloc -- fixture *)\n\
+     let now () = Unix.gettimeofday ()\n"
+  in
+  check_fires "unrelated allow" "wall-clock" ~path:"lib/netsim/c.ml" src_wrong;
+  let src_file =
+    "(* planck-lint: allow-file wall-clock ambient-random -- fixture *)\n\
+     let now () = Unix.gettimeofday ()\n\
+     let r () = Random.int 10\n"
+  in
+  let k, s = Engine.lint_source ~path:"lib/netsim/c.ml" ~source:src_file () in
+  Alcotest.(check int) "allow-file: kept" 0 (List.length k);
+  Alcotest.(check int) "allow-file: suppressed" 2 (List.length s)
+
+(* ---- reporters ---- *)
+
+let two_findings () =
+  kept ~path:"lib/netsim/fixture.ml"
+    "let now () = Unix.gettimeofday ()\nlet r () = Random.int 10\n"
+
+let test_text_report () =
+  let findings = two_findings () in
+  let text = Report.text_of ~findings ~suppressed:1 ~files:1 in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "file:line:col prefix" true
+    (contains "lib/netsim/fixture.ml:1:13:");
+  Alcotest.(check bool) "rule tag" true (contains "[wall-clock]");
+  Alcotest.(check bool) "summary" true
+    (contains "planck-lint: 1 file, 2 errors, 0 warnings, 1 suppressed")
+
+let test_json_report () =
+  let findings = two_findings () in
+  let doc =
+    match Json.of_string (Report.json_of ~findings ~suppressed:1 ~files:1) with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  in
+  let int_field k =
+    Option.get (Json.to_int_opt (Option.get (Json.member doc k)))
+  in
+  Alcotest.(check int) "version" 1 (int_field "version");
+  Alcotest.(check int) "files" 1 (int_field "files");
+  Alcotest.(check int) "errors" 2 (int_field "errors");
+  Alcotest.(check int) "warnings" 0 (int_field "warnings");
+  Alcotest.(check int) "suppressed" 1 (int_field "suppressed");
+  let listed =
+    Option.get (Json.to_list_opt (Option.get (Json.member doc "findings")))
+  in
+  Alcotest.(check int) "findings count" 2 (List.length listed);
+  let first = List.hd listed in
+  let str_field k =
+    Option.get (Json.to_string_opt (Option.get (Json.member first k)))
+  in
+  Alcotest.(check string) "rule round-trips" "wall-clock" (str_field "rule");
+  Alcotest.(check string) "file round-trips" "lib/netsim/fixture.ml"
+    (str_field "file");
+  Alcotest.(check string) "severity round-trips" "error" (str_field "severity")
+
+(* ---- the repo is lint-clean ---- *)
+
+let test_repo_clean () =
+  (* Tests run from _build/default/test; walk up to the repo root, which
+     is where dune places the source copies of lib/. *)
+  let cwd = Sys.getcwd () in
+  let root = Filename.dirname cwd in
+  if Sys.file_exists (Filename.concat root "lib") then
+    Fun.protect
+      ~finally:(fun () -> Sys.chdir cwd)
+      (fun () ->
+        Sys.chdir root;
+        let r = Engine.lint_paths [ "lib" ] in
+        Alcotest.(check (list string)) "no unsuppressed findings in lib/" []
+          (List.map
+             (fun f ->
+               Printf.sprintf "%s:%d [%s]" f.Finding.file f.Finding.line
+                 f.Finding.rule)
+             r.Engine.kept);
+        Alcotest.(check bool) "linted a non-trivial tree" true
+          (r.Engine.files_linted > 20))
+
+let tests =
+  [
+    Alcotest.test_case "wall-clock rule" `Quick test_wall_clock;
+    Alcotest.test_case "ambient-random rule" `Quick test_ambient_random;
+    Alcotest.test_case "hashtbl-iteration rule" `Quick test_hashtbl_iteration;
+    Alcotest.test_case "poly-compare rule" `Quick test_poly_compare;
+    Alcotest.test_case "keyed-poly-equal rule" `Quick test_keyed_poly_equal;
+    Alcotest.test_case "float-equality rule" `Quick test_float_equality;
+    Alcotest.test_case "hot-alloc rule" `Quick test_hot_alloc;
+    Alcotest.test_case "missing-mli rule" `Quick test_missing_mli;
+    Alcotest.test_case "open-lib rule" `Quick test_open_lib;
+    Alcotest.test_case "ignored-result rule" `Quick test_ignored_result;
+    Alcotest.test_case "parse-error rule" `Quick test_parse_error;
+    Alcotest.test_case "suppression directives" `Quick test_suppression;
+    Alcotest.test_case "text report" `Quick test_text_report;
+    Alcotest.test_case "json report" `Quick test_json_report;
+    Alcotest.test_case "repo tree is lint-clean" `Quick test_repo_clean;
+  ]

@@ -20,4 +20,5 @@ let () =
       ("invariants", Test_invariants.tests);
       ("placement", Test_placement.tests);
       ("smoke", Test_smoke.tests);
+      ("lint", Test_lint.tests);
     ]

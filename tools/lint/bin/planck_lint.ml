@@ -1,0 +1,73 @@
+(* planck-lint: AST-level static analysis for the Planck reproduction.
+
+   Usage: planck_lint [--json] [--out FILE] [--list-rules]
+                      [--disable RULE] [--warn-only RULE] PATH...
+
+   Exits 1 when any error-severity finding survives suppressions. *)
+
+module F = Planck_lint_lib.Lint_finding
+module Rules = Planck_lint_lib.Lint_rules
+module Engine = Planck_lint_lib.Lint_engine
+module Report = Planck_lint_lib.Lint_report
+
+let () =
+  let json = ref false in
+  let out = ref "" in
+  let list_rules = ref false in
+  let disabled = ref [] in
+  let warn_only = ref [] in
+  let paths = ref [] in
+  let check_rule flag r =
+    if not (Rules.is_known r) then begin
+      prerr_endline
+        (Printf.sprintf "planck_lint: unknown rule %S for %s (try --list-rules)"
+           r flag);
+      exit 2
+    end;
+    r
+  in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the machine-readable JSON report");
+      ("--out", Arg.Set_string out, "FILE write the report to FILE instead of stdout");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+      ( "--disable",
+        Arg.String (fun r -> disabled := check_rule "--disable" r :: !disabled),
+        "RULE drop findings of RULE entirely (repeatable)" );
+      ( "--warn-only",
+        Arg.String (fun r -> warn_only := check_rule "--warn-only" r :: !warn_only),
+        "RULE downgrade RULE to a non-fatal warning (repeatable)" );
+    ]
+  in
+  let usage = "planck_lint [options] PATH..." in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    print_string (Report.rules_text ());
+    exit 0
+  end;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let result = Engine.lint_paths (List.rev !paths) in
+  let findings =
+    result.Engine.kept
+    |> List.filter (fun f -> not (List.mem f.F.rule !disabled))
+    |> List.map (fun f ->
+           if List.mem f.F.rule !warn_only then { f with F.severity = F.Warning }
+           else f)
+  in
+  let suppressed = result.Engine.suppressed_count in
+  let files = result.Engine.files_linted in
+  let rendered =
+    if !json then Report.json_of ~findings ~suppressed ~files
+    else Report.text_of ~findings ~suppressed ~files
+  in
+  (if !out = "" then print_string rendered
+   else
+     let oc = open_out !out in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc rendered));
+  let errors = List.exists (fun f -> f.F.severity = F.Error) findings in
+  exit (if errors then 1 else 0)

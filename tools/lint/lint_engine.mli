@@ -1,0 +1,28 @@
+(** Parsing, suppression handling, and the file-tree driver. *)
+
+val lint_source :
+  ?extra:Lint_finding.t list ->
+  path:string ->
+  source:string ->
+  unit ->
+  Lint_finding.t list * Lint_finding.t list
+(** [lint_source ~path ~source ()] parses [source] as an implementation
+    and returns [(kept, suppressed)]: findings that survive the file's
+    [(* planck-lint: allow ... *)] directives, and those the directives
+    removed. An [allow] directive covers its own line and the line
+    below; [allow-file] covers the whole file. [extra] merges file-level
+    findings (e.g. missing-mli) into the same suppression pass. [path]
+    is repo-relative and drives rule scoping; the file need not exist
+    on disk. *)
+
+type result = {
+  kept : Lint_finding.t list;  (** unsuppressed, sorted by location *)
+  suppressed_count : int;
+  files_linted : int;
+}
+
+val lint_paths : string list -> result
+(** Walk files and directories (recursively; [_build] and dotfiles are
+    skipped), lint every [.ml], and apply the missing-mli rule using the
+    sibling [.mli] set. Paths are reported as given, so run from the
+    repo root with [lib bin bench examples]. *)

@@ -1,0 +1,18 @@
+(** A single lint finding: which rule fired, where, and why. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. ["wall-clock"] *)
+  severity : severity;
+  file : string;  (** repo-relative path as given to the linter *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler locations *)
+  message : string;
+}
+
+val severity_label : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val compare_by_location : t -> t -> int
+(** Order by file, then line, column and rule id — the report order. *)

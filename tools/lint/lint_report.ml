@@ -1,0 +1,77 @@
+module F = Lint_finding
+
+let count sev findings =
+  List.length (List.filter (fun f -> f.F.severity = sev) findings)
+
+(* ---- Text ---- *)
+
+let text_of ~findings ~suppressed ~files =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: %s [%s] %s\n" f.F.file f.F.line f.F.col
+           (F.severity_label f.F.severity)
+           f.F.rule f.F.message))
+    findings;
+  let errors = count F.Error findings and warnings = count F.Warning findings in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "planck-lint: %d file%s, %d error%s, %d warning%s, %d suppressed\n"
+       files
+       (if files = 1 then "" else "s")
+       errors
+       (if errors = 1 then "" else "s")
+       warnings
+       (if warnings = 1 then "" else "s")
+       suppressed);
+  Buffer.contents buf
+
+(* ---- JSON ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of ~findings ~suppressed ~files =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"version\":1,\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+           (escape f.F.rule)
+           (F.severity_label f.F.severity)
+           (escape f.F.file) f.F.line f.F.col (escape f.F.message)))
+    findings;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"files\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}"
+       files (count F.Error findings) (count F.Warning findings) suppressed);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let rules_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Lint_rules.rule) ->
+      if r.id <> "parse-error" then
+        Buffer.add_string buf
+          (Printf.sprintf "%-18s %-12s %-7s %s\n" r.id r.group
+             (F.severity_label r.default_severity)
+             r.doc))
+    Lint_rules.catalog;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Text and JSON rendering of a lint run. *)
+
+val text_of :
+  findings:Lint_finding.t list -> suppressed:int -> files:int -> string
+(** One [file:line:col: severity [rule] message] line per finding plus a
+    summary line. *)
+
+val json_of :
+  findings:Lint_finding.t list -> suppressed:int -> files:int -> string
+(** Machine-readable report:
+    [{"version":1,"findings":[{rule,severity,file,line,col,message}...],
+      "files":n,"errors":n,"warnings":n,"suppressed":n}]. *)
+
+val rules_text : unit -> string
+(** Human-readable rule catalog for [--list-rules]. *)

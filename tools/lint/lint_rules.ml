@@ -1,0 +1,477 @@
+(* The rule catalog and the single-pass AST checker.
+
+   Rules are syntactic: the linter sees the Parsetree, not types, so
+   each rule is scoped (by path, by enclosing-function name, by what the
+   module defines) to keep the signal high. Imprecision is resolved
+   toward fewer false positives; the suppression syntax exists for the
+   rest. *)
+
+open Parsetree
+module F = Lint_finding
+
+type rule = {
+  id : string;
+  group : string;
+  default_severity : F.severity;
+  doc : string;
+}
+
+let catalog =
+  [
+    {
+      id = "wall-clock";
+      group = "determinism";
+      default_severity = F.Error;
+      doc =
+        "No wall-clock reads (Unix.gettimeofday/Unix.time/Sys.time) in lib/ \
+         sim code: same seed must give identical journals. Sim time comes \
+         from Engine.now; wall time is legal in bin/, bench/ and the \
+         lib/telemetry export paths.";
+    };
+    {
+      id = "ambient-random";
+      group = "determinism";
+      default_severity = F.Error;
+      doc =
+        "No global Random state (Random.self_init, Random.int, ...) in lib/ \
+         code. Draw from an explicitly seeded Planck_util.Prng stream so \
+         runs are reproducible; Random.State with an explicit seed is \
+         allowed.";
+    };
+    {
+      id = "hashtbl-iteration";
+      group = "determinism";
+      default_severity = F.Error;
+      doc =
+        "Hashtbl.iter/fold order depends on hash-bucket layout and can leak \
+         into event ordering. Iterate sorted bindings instead \
+         (Hashtbl.to_seq + List.sort, or Flow_key.Table.iter_sorted / \
+         fold_sorted). lib/telemetry export paths are exempt.";
+    };
+    {
+      id = "poly-compare";
+      group = "hotpath";
+      default_severity = F.Error;
+      doc =
+        "Bare polymorphic compare / Hashtbl.hash walk structure at runtime \
+         and order floats by bit pattern. Use Int.compare, Float.compare, \
+         String.compare or the key module's explicit comparator/hash.";
+    };
+    {
+      id = "keyed-poly-equal";
+      group = "hotpath";
+      default_severity = F.Error;
+      doc =
+        "Structural =/<> inside a module that defines a custom key type \
+         (a record/variant plus equal/compare/hash). Write the field-wise \
+         comparison so the representation stays under the module's control.";
+    };
+    {
+      id = "float-equality";
+      group = "hotpath";
+      default_severity = F.Error;
+      doc =
+        "=/<> against a float literal is a polymorphic structural compare \
+         and is usually a logic smell. Use Float.equal, an epsilon, or an \
+         ordering test.";
+    };
+    {
+      id = "hot-alloc";
+      group = "hotpath";
+      default_severity = F.Error;
+      doc =
+        "Printf/Format/string concatenation inside a per-packet/per-event \
+         function (forward, enqueue, process, ...). Format off the hot path, \
+         or guard behind an enabled-flag branch and suppress with a \
+         justification.";
+    };
+    {
+      id = "missing-mli";
+      group = "hygiene";
+      default_severity = F.Error;
+      doc =
+        "Every lib/ module ships an .mli so the public surface is explicit \
+         and the compiler can prune dead exports.";
+    };
+    {
+      id = "open-lib";
+      group = "hygiene";
+      default_severity = F.Error;
+      doc =
+        "No structure-level open of a whole Planck library inside lib/ \
+         implementation files. Alias (module T = Planck_util.Time) or \
+         qualify; local opens in expressions are allowed.";
+    };
+    {
+      id = "ignored-result";
+      group = "hygiene";
+      default_severity = F.Error;
+      doc =
+        "ignore on a result-returning call silently drops the Error case; \
+         match on it or fail loudly.";
+    };
+    {
+      id = "parse-error";
+      group = "hygiene";
+      default_severity = F.Error;
+      doc = "The file does not parse; all other rules are moot until it does.";
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) catalog
+let is_known id = Option.is_some (find id) || id = "all"
+
+(* ---- Path scoping ---- *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let in_lib path = has_prefix "lib/" path
+let in_telemetry path = has_prefix "lib/telemetry/" path
+
+(* Files whose functions run per packet / per sample / per event. *)
+let hot_dirs = [ "lib/netsim/"; "lib/collector/"; "lib/tcp/"; "lib/sflow/"; "lib/packet/" ]
+let hot_file path = List.exists (fun d -> has_prefix d path) hot_dirs
+
+(* Per-packet/per-event naming conventions of switch.ml, engine.ml,
+   flow.ml, collector.ml and friends. A function is hot when any
+   enclosing binding matches one of these stems. *)
+let hot_stems =
+  [
+    "forward"; "enqueue"; "dequeue"; "ingress"; "inject"; "deliver";
+    "transmit"; "process"; "parse"; "push"; "pop"; "step"; "tick";
+    "observe"; "sample"; "record"; "touch"; "note"; "update"; "drop";
+    "handle"; "check"; "infer"; "on";
+  ]
+
+let is_hot_name name =
+  List.exists
+    (fun stem ->
+      name = stem
+      || has_prefix (stem ^ "_") name)
+    hot_stems
+
+(* ---- Longident helpers ---- *)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_lid p @ [ s ]
+  | Longident.Lapply (a, b) -> flatten_lid a @ flatten_lid b
+
+let lid_to_string lid = String.concat "." (flatten_lid lid)
+
+(* ---- Checker context ---- *)
+
+type ctx = {
+  path : string;
+  c_in_lib : bool;
+  c_in_telemetry : bool;
+  c_hot_file : bool;
+  c_keyed : bool;
+  mutable fn_stack : string list;
+  (* structure/let-bound value names seen so far, with nesting counts,
+     so a module-local [compare] is not mistaken for Stdlib.compare *)
+  bound : (string, int) Hashtbl.t;
+  mutable findings : F.t list;
+}
+
+let bind ctx name =
+  Hashtbl.replace ctx.bound name
+    (1 + Option.value (Hashtbl.find_opt ctx.bound name) ~default:0)
+
+let unbind ctx name =
+  match Hashtbl.find_opt ctx.bound name with
+  | Some n when n > 1 -> Hashtbl.replace ctx.bound name (n - 1)
+  | Some _ -> Hashtbl.remove ctx.bound name
+  | None -> ()
+
+let is_bound ctx name = Hashtbl.mem ctx.bound name
+
+let report ctx ~loc ~rule message =
+  let severity =
+    match find rule with Some r -> r.default_severity | None -> F.Error
+  in
+  let pos = loc.Location.loc_start in
+  ctx.findings <-
+    {
+      F.rule;
+      severity;
+      file = ctx.path;
+      line = pos.Lexing.pos_lnum;
+      col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+      message;
+    }
+    :: ctx.findings
+
+let in_hot_fn ctx = List.exists is_hot_name ctx.fn_stack
+
+(* ---- Pattern helpers ---- *)
+
+let rec pat_name pat =
+  match pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pat_name p
+  | _ -> None
+
+(* Does the structure define a custom key type: a record/variant type
+   together with a top-level equal/compare/hash binding? *)
+let defines_keyed_type str =
+  let structured = ref false and keyfun = ref false in
+  let rec item si =
+    match si.pstr_desc with
+    | Pstr_type (_, tds) ->
+        List.iter
+          (fun td ->
+            match td.ptype_kind with
+            | Ptype_record _ | Ptype_variant _ -> structured := true
+            | Ptype_abstract | Ptype_open -> ())
+          tds
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match pat_name vb.pvb_pat with
+            | Some ("equal" | "compare" | "hash") -> keyfun := true
+            | _ -> ())
+          vbs
+    | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+        List.iter item s
+    | _ -> ()
+  in
+  List.iter item str;
+  !structured && !keyfun
+
+(* ---- Per-expression checks ---- *)
+
+let wall_clock_idents =
+  [
+    [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Unix"; "gmtime" ];
+    [ "Unix"; "localtime" ]; [ "Unix"; "mktime" ]; [ "Sys"; "time" ];
+  ]
+
+let check_ident ctx loc lid =
+  let path = flatten_lid lid in
+  let sim_code = ctx.c_in_lib && not ctx.c_in_telemetry in
+  (* determinism: wall clock *)
+  if sim_code && List.mem path wall_clock_idents then
+    report ctx ~loc ~rule:"wall-clock"
+      (Printf.sprintf
+         "%s reads the wall clock; sim code must use Engine.now (wall time \
+          is only legal in bin/, bench/ and lib/telemetry exports)"
+         (lid_to_string lid));
+  (* determinism: ambient randomness *)
+  (match path with
+  | "Random" :: rest when sim_code -> (
+      match rest with
+      | [ "State"; "make_self_init" ] | [ "self_init" ] ->
+          report ctx ~loc ~rule:"ambient-random"
+            (Printf.sprintf
+               "%s seeds from the environment; use Planck_util.Prng.create \
+                ~seed so runs are reproducible"
+               (lid_to_string lid))
+      | "State" :: _ -> () (* explicit, seedable state *)
+      | _ ->
+          report ctx ~loc ~rule:"ambient-random"
+            (Printf.sprintf
+               "%s draws from the global Random state; use an explicitly \
+                seeded Planck_util.Prng stream"
+               (lid_to_string lid)))
+  | _ -> ());
+  (* determinism: unordered hashtable iteration *)
+  (let is_tbl_iteration =
+     match List.rev path with
+     | ("iter" | "fold") :: rest -> (
+         match rest with
+         | [ "Hashtbl" ] | [ "Hashtbl"; "Stdlib" ] -> true
+         | "Table" :: _ -> true (* Hashtbl.Make instances, e.g. Flow_key.Table *)
+         | _ -> false)
+     | _ -> false
+   in
+   if sim_code && is_tbl_iteration then
+     report ctx ~loc ~rule:"hashtbl-iteration"
+       (Printf.sprintf
+          "%s visits bindings in hash order, which can leak into event \
+           ordering; iterate sorted bindings (to_seq + List.sort, or \
+           Flow_key.Table.iter_sorted/fold_sorted)"
+          (lid_to_string lid)));
+  (* hotpath: polymorphic compare / hash *)
+  (match path with
+  | [ "compare" ] when ctx.c_in_lib && not (is_bound ctx "compare") ->
+      report ctx ~loc ~rule:"poly-compare"
+        "bare polymorphic compare; use Int.compare / Float.compare / \
+         String.compare or the key module's comparator"
+  | [ "Stdlib"; "compare" ] when ctx.c_in_lib ->
+      report ctx ~loc ~rule:"poly-compare"
+        "Stdlib.compare is polymorphic; use a monomorphic comparator"
+  | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] when ctx.c_in_lib ->
+      report ctx ~loc ~rule:"poly-compare"
+        "Hashtbl.hash walks the value structurally; define an explicit hash \
+         for the key type"
+  | _ -> ());
+  (* hotpath: allocation-heavy formatting in per-packet functions *)
+  if ctx.c_hot_file && in_hot_fn ctx then
+    let alloc_smell =
+      match path with
+      | [ "^" ] | [ "String"; "concat" ] -> true
+      | [ ("string_of_int" | "string_of_float" | "string_of_bool") ] -> true
+      | ("Printf" | "Format") :: _ -> true
+      | _ -> false
+    in
+    if alloc_smell then
+      report ctx ~loc ~rule:"hot-alloc"
+        (Printf.sprintf
+           "%s allocates/formats inside a per-packet/per-event function \
+            (enclosing: %s); move it off the hot path or guard it and \
+            suppress with a justification"
+           (lid_to_string lid)
+           (String.concat " > " (List.rev ctx.fn_stack)))
+
+let rec strip_unary_minus e =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "~-" | "-." | "-"); _ }; _ },
+        [ (Asttypes.Nolabel, arg) ] ) ->
+      strip_unary_minus arg
+  | _ -> e
+
+let is_float_literal e =
+  match (strip_unary_minus e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* Operands that make structural =/<> acceptable in a keyed module:
+   literals, constructors (None, [], flags) and qualified constants. *)
+let is_constantish e =
+  match e.pexp_desc with
+  | Pexp_constant _ | Pexp_construct _ | Pexp_variant _ -> true
+  | Pexp_ident { txt = Longident.Ldot _; _ } -> true
+  | _ -> false
+
+let result_returning_call e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flatten_lid txt with
+      | "Result" :: _ :: _ -> true
+      | path -> (
+          match List.rev path with
+          | last :: _ ->
+              let n = String.length last in
+              (n > 7 && String.sub last (n - 7) 7 = "_result")
+              || List.mem last [ "of_ndjson"; "of_csv"; "of_json" ]
+              || List.mem path [ [ "Json"; "parse" ] ]
+          | [] -> false))
+  | _ -> false
+
+let check_apply ctx whole fn args =
+  match (fn.pexp_desc, args) with
+  | ( Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ },
+      [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] ) ->
+      if is_float_literal a || is_float_literal b then
+        report ctx ~loc:whole.pexp_loc ~rule:"float-equality"
+          (Printf.sprintf
+             "(%s) against a float literal; use Float.equal, an epsilon, or \
+              an ordering test"
+             op)
+      else if
+        ctx.c_keyed && ctx.c_in_lib && (op = "=" || op = "<>")
+        && (not (is_constantish a))
+        && not (is_constantish b)
+      then
+        report ctx ~loc:whole.pexp_loc ~rule:"keyed-poly-equal"
+          (Printf.sprintf
+             "structural (%s) in a module defining a custom key type; write \
+              the field-wise comparison"
+             op)
+  | ( Pexp_ident { txt = Longident.Lident "ignore"; _ },
+      [ (Asttypes.Nolabel, arg) ] )
+    when ctx.c_in_lib && result_returning_call arg ->
+      report ctx ~loc:whole.pexp_loc ~rule:"ignored-result"
+        "ignore of a result-returning call drops the Error case; match on it"
+  | _ -> ()
+
+(* ---- The iterator ---- *)
+
+let check_structure ~path str =
+  let ctx =
+    {
+      path;
+      c_in_lib = in_lib path;
+      c_in_telemetry = in_telemetry path;
+      c_hot_file = hot_file path;
+      c_keyed = in_lib path && defines_keyed_type str;
+      fn_stack = [];
+      bound = Hashtbl.create 16;
+      findings = [];
+    }
+  in
+  let default = Ast_iterator.default_iterator in
+  let vb_names vbs = List.filter_map (fun vb -> pat_name vb.pvb_pat) vbs in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> check_ident ctx loc txt
+          | Pexp_apply (fn, args) -> check_apply ctx e fn args
+          | _ -> ());
+          match e.pexp_desc with
+          | Pexp_let (rf, vbs, body) ->
+              (* thread bindings so local [let compare = ...] shadows *)
+              let names = vb_names vbs in
+              if rf = Asttypes.Recursive then List.iter (bind ctx) names;
+              List.iter (it.value_binding it) vbs;
+              if rf = Asttypes.Nonrecursive then List.iter (bind ctx) names;
+              it.expr it body;
+              List.iter (unbind ctx) names
+          | _ -> default.expr it e);
+      value_binding =
+        (fun it vb ->
+          match pat_name vb.pvb_pat with
+          | Some name ->
+              ctx.fn_stack <- name :: ctx.fn_stack;
+              default.value_binding it vb;
+              ctx.fn_stack <- List.tl ctx.fn_stack
+          | None -> default.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          match si.pstr_desc with
+          | Pstr_value (rf, vbs) ->
+              (* structure-level names stay bound for the rest of the file *)
+              let names = vb_names vbs in
+              if rf = Asttypes.Recursive then List.iter (bind ctx) names;
+              List.iter (it.value_binding it) vbs;
+              if rf = Asttypes.Nonrecursive then List.iter (bind ctx) names
+          | Pstr_open
+              { popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ }
+            when ctx.c_in_lib -> (
+              (match flatten_lid txt with
+              | [ m ] when has_prefix "Planck" m ->
+                  report ctx ~loc ~rule:"open-lib"
+                    (Printf.sprintf
+                       "structure-level open of the whole %s library; alias \
+                        the submodules you need or qualify"
+                       m)
+              | _ -> ());
+              default.structure_item it si)
+          | _ -> default.structure_item it si);
+    }
+  in
+  iter.structure iter str;
+  List.rev ctx.findings
+
+(* ---- File-level rule ---- *)
+
+let missing_mli ~path ~has_mli =
+  if in_lib path && Filename.check_suffix path ".ml" && not has_mli then
+    [
+      {
+        F.rule = "missing-mli";
+        severity = F.Error;
+        file = path;
+        line = 1;
+        col = 0;
+        message =
+          Printf.sprintf "%s has no interface; add %si so the public \
+                          surface is explicit"
+            (Filename.basename path) (Filename.basename path);
+      };
+    ]
+  else []

@@ -1,0 +1,30 @@
+(** The rule catalog and the single-pass AST checker.
+
+    Rules are purely syntactic (the linter sees the Parsetree, not
+    types), so each is scoped — by path, by enclosing-function name, by
+    what the module defines — to keep false positives rare. The
+    remaining judgement calls go through the suppression syntax
+    ([(* planck-lint: allow <rule> -- reason *)]). *)
+
+type rule = {
+  id : string;
+  group : string;  (** "determinism" | "hotpath" | "hygiene" *)
+  default_severity : Lint_finding.severity;
+  doc : string;
+}
+
+val catalog : rule list
+(** Every rule the linter knows, in display order. *)
+
+val find : string -> rule option
+
+val is_known : string -> bool
+(** True for catalog ids and the ["all"] wildcard used in suppressions. *)
+
+val check_structure : path:string -> Parsetree.structure -> Lint_finding.t list
+(** Run every AST rule over one parsed implementation. [path] is the
+    repo-relative path and drives rule scoping ([lib/] vs [bin/],
+    telemetry exemptions, hot-path files). *)
+
+val missing_mli : path:string -> has_mli:bool -> Lint_finding.t list
+(** The one file-level rule: a [lib/] .ml without a sibling .mli. *)
