@@ -82,17 +82,17 @@ let run_selected names opts with_micro =
         (name, wall, ok))
       selected
   in
-  if with_micro then Micro.run ();
+  let micro = if with_micro then Micro.run () else [] in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal wall time: %.1fs\n%!" total;
-  (timed, total)
+  (timed, total, micro)
 
 (* The machine-readable emitter behind --json: one document per
    invocation, so perf trajectories (BENCH_*.json) can accumulate
    across PRs. The [metrics] member is the process-wide telemetry
    snapshot, giving every bench id a common vocabulary of internals
    (events processed, drops, sample counts, ...) for free. *)
-let emit_json path timed total =
+let emit_json path timed total micro =
   let doc =
     Json.Obj
       [
@@ -110,6 +110,16 @@ let emit_json path timed total =
                      ("ok", Json.Bool ok);
                    ])
                timed) );
+        ( "micro",
+          Json.List
+            (List.map
+               (fun (name, ns_per_op) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("ns_per_op", Json.Float ns_per_op);
+                   ])
+               micro) );
         ( "metrics",
           match Json.member (Export.metrics_to_json Metrics.default) "metrics"
           with
@@ -258,7 +268,7 @@ let main names runs full seed list_experiments with_micro json_path
         verbose = false;
       }
     in
-    let timed, total = run_selected names opts with_micro in
+    let timed, total, micro = run_selected names opts with_micro in
     Planck.Experiment.set_observer None;
     (match journal_channel with
     | Some oc ->
@@ -282,7 +292,7 @@ let main names runs full seed list_experiments with_micro json_path
               "no time-series recorded (no selected experiment ran a \
                workload through the experiment harness)\n%!")
       timeseries_path;
-    Option.iter (fun path -> emit_json path timed total) json_path;
+    Option.iter (fun path -> emit_json path timed total micro) json_path;
     Option.iter
       (fun path ->
         Export.write_file ~path (Export.metrics_json Metrics.default);

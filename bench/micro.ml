@@ -7,6 +7,7 @@ module Time_u = Planck_util.Time
 module Rate = Planck_util.Rate
 module Prng = Planck_util.Prng
 module Heap = Planck_util.Heap
+module Wheel = Planck_util.Timer_wheel
 module P = Planck_packet.Packet
 module H = Planck_packet.Headers
 module Mac = Planck_packet.Mac
@@ -54,6 +55,129 @@ let test_heap =
     (Staged.stage (fun () ->
          Heap.add heap ~key:(Prng.int prng 1_000_000) ();
          ignore (Heap.pop heap)))
+
+(* ---- event-queue trajectory: min-heap baseline vs timer wheel ----
+
+   The same timer-shaped workload (a monotone clock, ~90% of delays
+   inside the wheel horizon, 10% in overflow) driven through the raw
+   heap and through the wheel, so BENCH_*.json carries both sides of
+   the comparison the scheduler rework is justified by. *)
+
+let timer_delay prng =
+  if Prng.int prng 100 < 90 then Prng.int prng 1_000_000 (* <=1ms: in-wheel *)
+  else Prng.int prng 100_000_000 (* <=100ms: overflow tier *)
+
+let queue_transient_heap =
+  let heap = Heap.create () in
+  let prng = Prng.create ~seed:2 in
+  let now = ref 0 in
+  Test.make ~name:"event-queue transient add+pop (heap baseline)"
+    (Staged.stage (fun () ->
+         Heap.add heap ~key:(!now + timer_delay prng) ();
+         match Heap.pop heap with
+         | Some (key, ()) -> now := key
+         | None -> ()))
+
+let queue_transient_wheel ~name config seed =
+  let wheel = Wheel.create ~config () in
+  let prng = Prng.create ~seed in
+  let now = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Wheel.add wheel ~key:(!now + timer_delay prng) ());
+         match Wheel.pop wheel with
+         | Some (key, ()) -> now := key
+         | None -> ()))
+
+(* Steady state: the queue holds ~8k pending timers (a large testbed's
+   worth of RTOs, drain polls, and sampling clocks) while events churn
+   through it. This is where heap add/pop pays O(log n) against the
+   wheel's O(1) slot insert. *)
+let queue_steady_heap =
+  let heap = Heap.create () in
+  let prng = Prng.create ~seed:4 in
+  let now = ref 0 in
+  for _ = 1 to 8_192 do
+    Heap.add heap ~key:(timer_delay prng) ()
+  done;
+  Test.make ~name:"event-queue 8k-pending add+pop (heap baseline)"
+    (Staged.stage (fun () ->
+         match Heap.pop heap with
+         | Some (key, ()) ->
+             now := key;
+             Heap.add heap ~key:(!now + timer_delay prng) ()
+         | None -> ()))
+
+let queue_steady_wheel ~name config seed =
+  let wheel = Wheel.create ~config () in
+  let prng = Prng.create ~seed in
+  let now = ref 0 in
+  for _ = 1 to 8_192 do
+    ignore (Wheel.add wheel ~key:(timer_delay prng) ())
+  done;
+  Test.make ~name
+    (Staged.stage (fun () ->
+         match Wheel.pop wheel with
+         | Some (key, ()) ->
+             now := key;
+             ignore (Wheel.add wheel ~key:(!now + timer_delay prng) ())
+         | None -> ()))
+
+(* RTO churn. A TCP sender re-arms its retransmit timer on every ACK,
+   so almost no timer ever fires. The wheel cancels in O(1) and
+   compacts lazily; the pre-wheel generation-counter idiom left every
+   superseded timer in the heap as a zombie to pop and discard at its
+   original deadline. *)
+let rto = 200_000 (* 200us *)
+let ack_gap = 2_000 (* one ACK every 2us: ~100 zombies resident *)
+
+let churn_wheel =
+  let wheel = Wheel.create () in
+  let now = ref 0 in
+  let handle = ref (Wheel.add wheel ~key:rto ()) in
+  Test.make ~name:"rto churn cancel+rearm (wheel)"
+    (Staged.stage (fun () ->
+         ignore (Wheel.cancel wheel !handle);
+         now := !now + ack_gap;
+         handle := Wheel.add wheel ~key:(!now + rto) ()))
+
+let churn_heap_zombies =
+  let heap = Heap.create () in
+  let now = ref 0 in
+  let generation = ref 0 in
+  Test.make ~name:"rto churn zombie discard (heap baseline)"
+    (Staged.stage (fun () ->
+         now := !now + ack_gap;
+         incr generation;
+         Heap.add heap ~key:(!now + rto) !generation;
+         (* Expired zombies fire and are discarded by the generation
+            check — the cost the cancellable timer removes. *)
+         let rec drain () =
+           match Heap.peek heap with
+           | Some (key, _) when key <= !now ->
+               (match Heap.pop heap with
+               | Some (_, gen) -> if gen = !generation then ()
+               | None -> ());
+               drain ()
+           | _ -> ()
+         in
+         drain ()))
+
+(* End-to-end: a live engine with 100 periodic timers (the shape of a
+   testbed's pollers, samplers, and flush clocks), advanced 100us per
+   iteration — wheel vs the pre-wheel heap-only scheduler. *)
+let engine_timers ~name config =
+  let engine = Engine.create ~label:("bench-" ^ name) ~queue:config () in
+  let prng = Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    let period = 1_000 + Prng.int prng 100_000 in
+    ignore (Engine.periodic engine ~period (fun () -> ()))
+  done;
+  let horizon = ref 0 in
+  Test.make ~name:(Printf.sprintf "engine 100-timer run (%s)" name)
+    (Staged.stage (fun () ->
+         horizon := !horizon + 100_000;
+         Engine.run ~until:!horizon engine))
 
 let test_switch_forward =
   let engine = Engine.create () in
@@ -134,6 +258,22 @@ let benchmarks =
     test_parse;
     test_estimator;
     test_heap;
+    queue_transient_heap;
+    queue_transient_wheel
+      ~name:"event-queue transient add+pop (wheel)" Wheel.default_config 3;
+    queue_transient_wheel
+      ~name:"event-queue transient add+pop (wheel heap-only)" Wheel.heap_only
+      3;
+    queue_steady_heap;
+    queue_steady_wheel
+      ~name:"event-queue 8k-pending add+pop (wheel)" Wheel.default_config 4;
+    queue_steady_wheel
+      ~name:"event-queue 8k-pending add+pop (wheel heap-only)" Wheel.heap_only
+      4;
+    churn_wheel;
+    churn_heap_zombies;
+    engine_timers ~name:"wheel" Wheel.default_config;
+    engine_timers ~name:"heap-only" Wheel.heap_only;
     test_switch_forward;
     test_telemetry_disabled;
     test_telemetry_enabled;
@@ -141,8 +281,11 @@ let benchmarks =
     test_journal_enabled;
   ]
 
+(* Runs every benchmark and returns [(name, ns_per_op)] so --json can
+   commit the numbers into the BENCH_*.json perf trajectory. *)
 let run () =
   Exp_common.section "Bechamel microbenchmarks (hot paths)";
+  let estimates = ref [] in
   let run_one test =
     let instances = Instance.[ monotonic_clock ] in
     let cfg =
@@ -159,9 +302,11 @@ let run () =
           (fun name result ->
             match Analyze.OLS.estimates result with
             | Some [ est ] ->
-                Printf.printf "  %-45s %10.1f ns/op\n%!" name est
-            | _ -> Printf.printf "  %-45s (no estimate)\n%!" name)
+                estimates := (name, est) :: !estimates;
+                Printf.printf "  %-55s %10.1f ns/op\n%!" name est
+            | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
           by_name)
       results
   in
-  List.iter run_one benchmarks
+  List.iter run_one benchmarks;
+  List.rev !estimates

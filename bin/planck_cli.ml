@@ -256,8 +256,11 @@ let capture output duration_ms seed metrics_out trace_out =
   (match metrics_out with
   | Some path ->
       let fl = Flusher.create ~outputs:[ Flusher.Metrics_json path ] () in
-      Flusher.schedule fl ~period:(Time.ms 1)
-        ~every:(fun ~period f -> Engine.every tb.Testbed.engine ~period f)
+      let (_ : Engine.Timer.t) =
+        Flusher.schedule fl ~period:(Time.ms 1)
+          ~every:(fun ~period f -> Engine.periodic tb.Testbed.engine ~period f)
+      in
+      ()
   | None -> ());
   (* Some background traffic through switch 0 (an edge switch). *)
   ignore

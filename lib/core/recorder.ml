@@ -47,9 +47,11 @@ let create ?(interval = Time.us 500) ?(estimate = fun _ -> None)
     | None -> ()
   done;
   let engine = testbed.Testbed.engine in
-  Timeseries.start ts
-    ~every:(fun ~period f -> Engine.every engine ~period f)
-    ~clock:(fun () -> Engine.now engine);
+  let (_ : Engine.Timer.t) =
+    Timeseries.start ts
+      ~every:(fun ~period f -> Engine.periodic engine ~period f)
+      ~clock:(fun () -> Engine.now engine)
+  in
   { ts; estimate }
 
 let timeseries t = t.ts

@@ -1,55 +1,148 @@
 module Time = Planck_util.Time
-module Heap = Planck_util.Heap
+module Wheel = Planck_util.Timer_wheel
 module Metrics = Planck_telemetry.Metrics
 
-(* All engines share the process-wide registry: the counters aggregate
-   across engine instances (one per testbed), which is what the CLI and
-   bench snapshots want. Per-engine introspection uses the accessors. *)
+(* Process-wide aggregates (label-less) for CLI and bench snapshots;
+   each engine additionally registers instance metrics under its own
+   label so concurrent testbeds in one process don't clobber each
+   other. The aggregate high-water is kept monotone across engines. *)
 let m_events = Metrics.counter ~subsystem:"engine" ~name:"events_processed" ()
 
 let m_pending_hw =
   Metrics.gauge ~subsystem:"engine" ~name:"pending_high_water" ()
 
+let aggregate_hw = ref 0
+let next_engine_id = ref 0
+
+(* The default queue geometry for new engines. Mutable so tests and
+   benches can A/B a whole experiment against the heap-only baseline
+   without threading a config through every constructor. *)
+let default_queue_config = ref Wheel.default_config
+let set_default_queue c = default_queue_config := c
+let default_queue () = !default_queue_config
+
 type t = {
-  queue : (unit -> unit) Heap.t;
+  queue : (unit -> unit) Wheel.t;
+  label : string;
   mutable clock : Time.t;
   mutable processed : int;
   mutable max_pending : int;
+  tel_pending_hw : Metrics.gauge;
+  tel_cancelled : Metrics.counter;
 }
 
-let create () =
-  { queue = Heap.create (); clock = 0; processed = 0; max_pending = 0 }
+let create ?label ?queue () =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        let id = !next_engine_id in
+        incr next_engine_id;
+        Printf.sprintf "engine%d" id
+  in
+  let tel_compactions =
+    Metrics.counter ~subsystem:"engine" ~name:"compactions" ~label ()
+  in
+  let config = match queue with Some c -> c | None -> !default_queue_config in
+  {
+    queue =
+      Wheel.create ~config
+        ~on_compaction:(fun () -> Metrics.Counter.incr tel_compactions)
+        ();
+    label;
+    clock = 0;
+    processed = 0;
+    max_pending = 0;
+    tel_pending_hw =
+      Metrics.gauge ~subsystem:"engine" ~name:"pending_high_water" ~label ();
+    tel_cancelled =
+      Metrics.counter ~subsystem:"engine" ~name:"timers_cancelled" ~label ();
+  }
 
 let now t = t.clock
+let label t = t.label
 
-let push t ~key f =
-  Heap.add t.queue ~key f;
-  let n = Heap.length t.queue in
+let note_scheduled t =
+  let n = Wheel.length t.queue in
   if n > t.max_pending then begin
     t.max_pending <- n;
-    Metrics.Gauge.set_int m_pending_hw n
+    Metrics.Gauge.set_int t.tel_pending_hw n;
+    if n > !aggregate_hw then begin
+      aggregate_hw := n;
+      Metrics.Gauge.set_int m_pending_hw n
+    end
   end
+
+let insert t ~key f =
+  let h = Wheel.add t.queue ~key f in
+  note_scheduled t;
+  h
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  push t ~key:time f
+  ignore (insert t ~key:time f : (unit -> unit) Wheel.handle)
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  push t ~key:(t.clock + delay) f
+  ignore (insert t ~key:(t.clock + delay) f : (unit -> unit) Wheel.handle)
 
-let every t ~period ?until f =
-  if period <= 0 then invalid_arg "Engine.every: period must be positive";
-  let rec tick () =
+module Timer = struct
+  type engine = t
+
+  type t = {
+    engine : engine;
+    mutable callback : unit -> unit;
+    run : unit -> unit; (* the one closure ever queued for this timer *)
+    mutable handle : (unit -> unit) Wheel.handle option;
+  }
+
+  let create engine callback =
+    let rec tm =
+      { engine; callback; run = (fun () -> tm.callback ()); handle = None }
+    in
+    tm
+
+  let set_callback tm f = tm.callback <- f
+
+  let pending tm =
+    match tm.handle with Some h -> Wheel.is_pending h | None -> false
+
+  let cancel tm =
+    match tm.handle with
+    | None -> ()
+    | Some h ->
+        if Wheel.cancel tm.engine.queue h then
+          Metrics.Counter.incr tm.engine.tel_cancelled;
+        tm.handle <- None
+
+  let reschedule_at tm ~time =
+    if time < tm.engine.clock then
+      invalid_arg "Engine.Timer.reschedule_at: time in the past";
+    cancel tm;
+    tm.handle <- Some (insert tm.engine ~key:time tm.run)
+
+  let reschedule tm ~delay =
+    if delay < 0 then invalid_arg "Engine.Timer.reschedule: negative delay";
+    reschedule_at tm ~time:(tm.engine.clock + delay)
+end
+
+let periodic t ~period ?until f =
+  if period <= 0 then invalid_arg "Engine.periodic: period must be positive";
+  let tm = Timer.create t f in
+  let tick () =
     f ();
     match until with
     | Some horizon when t.clock + period > horizon -> ()
-    | Some _ | None -> schedule t ~delay:period tick
+    | Some _ | None -> Timer.reschedule tm ~delay:period
   in
-  schedule t ~delay:period tick
+  Timer.set_callback tm tick;
+  Timer.reschedule tm ~delay:period;
+  tm
+
+let every t ~period ?until f = ignore (periodic t ~period ?until f : Timer.t)
 
 let step t =
-  match Heap.pop t.queue with
+  match Wheel.pop t.queue with
   | None -> false
   | Some (time, f) ->
       t.clock <- time;
@@ -64,7 +157,7 @@ let run ?until t =
   | Some horizon ->
       let continue = ref true in
       while !continue do
-        match Heap.min_key t.queue with
+        match Wheel.min_key t.queue with
         | Some time when time <= horizon -> ignore (step t)
         | Some _ | None ->
             t.clock <- horizon;
@@ -72,5 +165,7 @@ let run ?until t =
       done
 
 let events_processed t = t.processed
-let pending t = Heap.length t.queue
+let pending t = Wheel.length t.queue
 let max_pending t = t.max_pending
+let timers_cancelled t = Wheel.total_cancelled t.queue
+let compactions t = Wheel.compactions t.queue

@@ -39,28 +39,15 @@ type t = {
   mutable recv_traces : (Time.t -> Packet.t -> unit) list;
   mutable filtered : int;
   (* The kernel stack is FIFO in each direction: later frames can never
-     overtake earlier ones even though per-frame delays are random. *)
+     overtake earlier ones even though per-frame delays are random — so
+     one preallocated timer per direction paces the whole queue. *)
+  pending_sends : (Time.t * int * Packet.t) Queue.t; (* ready, cls, pkt *)
+  pending_recvs : (Time.t * Packet.t) Queue.t;
+  send_timer : Engine.Timer.t;
+  recv_timer : Engine.Timer.t;
   mutable last_send_ready : Time.t;
   mutable last_recv_ready : Time.t;
 }
-
-let create engine ~id ?(stack = default_stack) ~prng () =
-  {
-    engine;
-    host_id = id;
-    mac = Mac.host id;
-    ip = Ipv4_addr.host id;
-    stack;
-    prng;
-    arp_cache = Hashtbl.create 16;
-    nic = None;
-    receive = (fun _ -> ());
-    send_traces = [];
-    recv_traces = [];
-    filtered = 0;
-    last_send_ready = 0;
-    last_recv_ready = 0;
-  }
 
 let id t = t.host_id
 let name t = Printf.sprintf "h%d" t.host_id
@@ -98,10 +85,20 @@ let send t packet =
     | None -> 0
     | Some key -> Flow_key.hash key mod nic_classes
   in
-  Engine.schedule t.engine ~delay:(ready - now) (fun () ->
+  Queue.push (ready, cls, packet) t.pending_sends;
+  if not (Engine.Timer.pending t.send_timer) then
+    Engine.Timer.reschedule_at t.send_timer ~time:ready
+
+let on_send_ready t =
+  (match Queue.take_opt t.pending_sends with
+  | None -> ()
+  | Some (_, cls, packet) -> (
       match t.nic with
       | None -> ()
-      | Some nic -> Txport.enqueue nic ~cls packet)
+      | Some nic -> Txport.enqueue nic ~cls packet));
+  match Queue.peek_opt t.pending_sends with
+  | Some (ready, _, _) -> Engine.Timer.reschedule_at t.send_timer ~time:ready
+  | None -> ()
 
 let set_receive t f = t.receive <- f
 let add_send_trace t f = t.send_traces <- t.send_traces @ [ f ]
@@ -169,6 +166,20 @@ let accepts t packet =
   let dst = Packet.dst_mac packet in
   Mac.equal dst t.mac || Mac.equal dst Mac.broadcast
 
+let on_recv_ready t =
+  (match Queue.take_opt t.pending_recvs with
+  | None -> ()
+  | Some (_, packet) -> (
+      match packet.Packet.body with
+      | Packet.Arp a -> arp_input t a
+      | Packet.Ipv4 _ ->
+          let now = Engine.now t.engine in
+          List.iter (fun trace -> trace now packet) t.recv_traces;
+          t.receive packet));
+  match Queue.peek_opt t.pending_recvs with
+  | Some (ready, _) -> Engine.Timer.reschedule_at t.recv_timer ~time:ready
+  | None -> ()
+
 let ingress t packet =
   if not (accepts t packet) then t.filtered <- t.filtered + 1
   else begin
@@ -178,13 +189,36 @@ let ingress t packet =
     in
     let ready = max (now + delay) (t.last_recv_ready + 1) in
     t.last_recv_ready <- ready;
-    Engine.schedule t.engine ~delay:(ready - now) (fun () ->
-        match packet.Packet.body with
-        | Packet.Arp a -> arp_input t a
-        | Packet.Ipv4 _ ->
-            let now = Engine.now t.engine in
-            List.iter (fun trace -> trace now packet) t.recv_traces;
-            t.receive packet)
+    Queue.push (ready, packet) t.pending_recvs;
+    if not (Engine.Timer.pending t.recv_timer) then
+      Engine.Timer.reschedule_at t.recv_timer ~time:ready
   end
+
+let create engine ~id ?(stack = default_stack) ~prng () =
+  let t =
+    {
+      engine;
+      host_id = id;
+      mac = Mac.host id;
+      ip = Ipv4_addr.host id;
+      stack;
+      prng;
+      arp_cache = Hashtbl.create 16;
+      nic = None;
+      receive = (fun _ -> ());
+      send_traces = [];
+      recv_traces = [];
+      filtered = 0;
+      pending_sends = Queue.create ();
+      pending_recvs = Queue.create ();
+      send_timer = Engine.Timer.create engine ignore;
+      recv_timer = Engine.Timer.create engine ignore;
+      last_send_ready = 0;
+      last_recv_ready = 0;
+    }
+  in
+  Engine.Timer.set_callback t.send_timer (fun () -> on_send_ready t);
+  Engine.Timer.set_callback t.recv_timer (fun () -> on_recv_ready t);
+  t
 
 let filtered_frames t = t.filtered

@@ -12,28 +12,13 @@ type t = {
   ring : pending Ring.t;
   poll_interval : Time.t;
   consumer : record -> unit;
-  mutable poll_scheduled : bool;
+  poll_timer : Engine.Timer.t;
   mutable seen : int;
   tel_frames : Metrics.counter;
   tel_ring_drops : Metrics.counter;
 }
 
-let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
-    ?(label = "") ~consumer () =
-  {
-    engine;
-    ring = Ring.create ~capacity:ring_capacity;
-    poll_interval;
-    consumer;
-    poll_scheduled = false;
-    seen = 0;
-    tel_frames = Metrics.counter ~subsystem:"sink" ~name:"frames" ~label ();
-    tel_ring_drops =
-      Metrics.counter ~subsystem:"sink" ~name:"ring_drops" ~label ();
-  }
-
 let drain t =
-  t.poll_scheduled <- false;
   let now = Engine.now t.engine in
   let rec loop () =
     match Ring.pop t.ring with
@@ -50,15 +35,31 @@ let drain t =
   in
   loop ()
 
+let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
+    ?(label = "") ~consumer () =
+  let t =
+    {
+      engine;
+      ring = Ring.create ~capacity:ring_capacity;
+      poll_interval;
+      consumer;
+      poll_timer = Engine.Timer.create engine ignore;
+      seen = 0;
+      tel_frames = Metrics.counter ~subsystem:"sink" ~name:"frames" ~label ();
+      tel_ring_drops =
+        Metrics.counter ~subsystem:"sink" ~name:"ring_drops" ~label ();
+    }
+  in
+  Engine.Timer.set_callback t.poll_timer (fun () -> drain t);
+  t
+
 let ingress t packet =
   let now = Engine.now t.engine in
   if Ring.push t.ring { arrived = now; packet } then begin
     t.seen <- t.seen + 1;
     Metrics.Counter.incr t.tel_frames;
-    if not t.poll_scheduled then begin
-      t.poll_scheduled <- true;
-      Engine.schedule t.engine ~delay:t.poll_interval (fun () -> drain t)
-    end
+    if not (Engine.Timer.pending t.poll_timer) then
+      Engine.Timer.reschedule t.poll_timer ~delay:t.poll_interval
   end
   else Metrics.Counter.incr t.tel_ring_drops
 

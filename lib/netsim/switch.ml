@@ -1,5 +1,6 @@
 module Time = Planck_util.Time
 module Rate = Planck_util.Rate
+module Heap = Planck_util.Heap
 module Prng = Planck_util.Prng
 module Packet = Planck_packet.Packet
 module Mac = Planck_packet.Mac
@@ -73,56 +74,17 @@ type t = {
      journal records upward crossings only, so a full run produces at
      most 8 Queue_high_water events per switch. *)
   mutable hw_level : int;
+  (* Frames in the ingress pipeline, keyed by their (jittered) exit
+     time. Jitter makes exit times non-monotone, so a min-heap orders
+     them and a single preallocated timer tracks its head — no
+     per-packet closure. FIFO seq in the heap keeps equal exit times in
+     arrival order. *)
+  pipeline : (int * Packet.t) Heap.t;
+  pipeline_timer : Engine.Timer.t;
+  mutable pipeline_armed_at : Time.t;
   prng : Prng.t;
   tel : telemetry;
 }
-
-let create engine ~name ~ports ~config ?prng () =
-  if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
-  let prng =
-    match prng with
-    | Some prng -> prng
-    | None -> Prng.create ~seed:(Prng.seed_of_string name)
-  in
-  {
-    engine;
-    name;
-    nports = ports;
-    config;
-    buffer =
-      Buffer_pool.create ~total:config.buffer_total
-        ~reservation:config.buffer_reservation ~alpha:config.dt_alpha ~ports;
-    tx = Array.make ports None;
-    counters =
-      Array.init ports (fun _ ->
-          { rx_packets = 0; rx_bytes = 0; data_drops = 0; mirror_drops = 0 });
-    fdb = Hashtbl.create 64;
-    rewrites = Hashtbl.create 16;
-    flow_rewrites = Planck_packet.Flow_key.Table.create 16;
-    forward_taps = [];
-    monitor = None;
-    mirrored = Array.make ports false;
-    unroutable = 0;
-    mirror_total = 0;
-    mirror_special = 0;
-    hw_level = 0;
-    prng;
-    tel =
-      (let per_port metric =
-         Array.init ports (fun port ->
-             Metrics.counter ~subsystem:"switch" ~name:metric
-               ~label:(Printf.sprintf "%s.p%d" name port)
-               ())
-       in
-       {
-         tel_enqueued = per_port "enqueued";
-         tel_data_drops = per_port "data_drops";
-         tel_mirror_drops = per_port "mirror_drops";
-         tel_buffer_hw =
-           Metrics.gauge ~subsystem:"switch" ~name:"buffer_shared_high_water"
-             ~label:name ();
-       });
-  }
 
 let name t = t.name
 let ports t = t.nports
@@ -316,6 +278,89 @@ let forward t ~in_port packet =
           enqueue t ~port:monitor ~cls ~mirror:true packet
       | Some _ | None -> ()
 
+(* Arm the pipeline timer at the heap's head; re-arm only when a new
+   frame beats the armed exit time. *)
+let arm_pipeline t =
+  match Heap.min_key t.pipeline with
+  | None -> ()
+  | Some ready ->
+      if
+        (not (Engine.Timer.pending t.pipeline_timer))
+        || ready < t.pipeline_armed_at
+      then begin
+        t.pipeline_armed_at <- ready;
+        Engine.Timer.reschedule_at t.pipeline_timer ~time:ready
+      end
+
+let on_pipeline t =
+  let now = Engine.now t.engine in
+  let rec loop () =
+    match Heap.min_key t.pipeline with
+    | Some ready when ready <= now -> (
+        match Heap.pop t.pipeline with
+        | Some (_, (in_port, packet)) ->
+            forward t ~in_port packet;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  arm_pipeline t
+
+let create engine ~name ~ports ~config ?prng () =
+  if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
+  let prng =
+    match prng with
+    | Some prng -> prng
+    | None -> Prng.create ~seed:(Prng.seed_of_string name)
+  in
+  let t =
+    {
+      engine;
+      name;
+      nports = ports;
+      config;
+      buffer =
+        Buffer_pool.create ~total:config.buffer_total
+          ~reservation:config.buffer_reservation ~alpha:config.dt_alpha ~ports;
+      tx = Array.make ports None;
+      counters =
+        Array.init ports (fun _ ->
+            { rx_packets = 0; rx_bytes = 0; data_drops = 0; mirror_drops = 0 });
+      fdb = Hashtbl.create 64;
+      rewrites = Hashtbl.create 16;
+      flow_rewrites = Planck_packet.Flow_key.Table.create 16;
+      forward_taps = [];
+      monitor = None;
+      mirrored = Array.make ports false;
+      unroutable = 0;
+      mirror_total = 0;
+      mirror_special = 0;
+      hw_level = 0;
+      pipeline = Heap.create ();
+      pipeline_timer = Engine.Timer.create engine ignore;
+      pipeline_armed_at = 0;
+      prng;
+      tel =
+        (let per_port metric =
+           Array.init ports (fun port ->
+               Metrics.counter ~subsystem:"switch" ~name:metric
+                 ~label:(Printf.sprintf "%s.p%d" name port)
+                 ())
+         in
+         {
+           tel_enqueued = per_port "enqueued";
+           tel_data_drops = per_port "data_drops";
+           tel_mirror_drops = per_port "mirror_drops";
+           tel_buffer_hw =
+             Metrics.gauge ~subsystem:"switch" ~name:"buffer_shared_high_water"
+               ~label:name ();
+         });
+    }
+  in
+  Engine.Timer.set_callback t.pipeline_timer (fun () -> on_pipeline t);
+  t
+
 let inject t ~port packet =
   check_port t port "inject";
   enqueue t ~port ~cls:0 ~mirror:false packet
@@ -329,9 +374,11 @@ let ingress t ~port packet =
     if t.config.pipeline_jitter <= 0 then 0
     else Prng.int t.prng (t.config.pipeline_jitter + 1)
   in
-  Engine.schedule t.engine
-    ~delay:(t.config.pipeline_latency + jitter)
-    (fun () -> forward t ~in_port:port packet)
+  let ready =
+    Engine.now t.engine + t.config.pipeline_latency + jitter
+  in
+  Heap.add t.pipeline ~key:ready (port, packet);
+  arm_pipeline t
 
 type port_stats = {
   rx_packets : int;

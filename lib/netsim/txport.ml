@@ -12,34 +12,18 @@ type t = {
   on_depart : Packet.t -> unit;
   mutable next_class : int; (* round-robin scan position *)
   mutable busy : bool;
+  mutable in_flight : Packet.t option; (* frame on the serializer *)
+  (* Frames propagating towards the peer. The propagation delay is a
+     per-port constant, so arrivals are FIFO and one timer paces them
+     all; no per-packet closure is allocated. *)
+  deliveries : (Time.t * Packet.t) Queue.t;
+  tx_timer : Engine.Timer.t;
+  delivery_timer : Engine.Timer.t;
   mutable queued_bytes : int;
   mutable queued_packets : int;
   mutable tx_packets : int;
   mutable tx_bytes : int;
 }
-
-let create engine ~rate ~prop_delay ~classes ?priority_class ~deliver
-    ~on_depart () =
-  if classes <= 0 then invalid_arg "Txport.create: classes must be positive";
-  (match priority_class with
-  | Some p when p < 0 || p >= classes ->
-      invalid_arg "Txport.create: priority class out of range"
-  | Some _ | None -> ());
-  {
-    engine;
-    rate;
-    prop_delay;
-    queues = Array.init classes (fun _ -> Queue.create ());
-    priority_class;
-    deliver;
-    on_depart;
-    next_class = 0;
-    busy = false;
-    queued_bytes = 0;
-    queued_packets = 0;
-    tx_packets = 0;
-    tx_bytes = 0;
-  }
 
 (* Strict priority first, then round-robin: scan from next_class for
    the first non-empty sub-queue. *)
@@ -73,16 +57,65 @@ let rec transmit_next t =
   | None -> t.busy <- false
   | Some packet ->
       t.busy <- true;
+      t.in_flight <- Some packet;
       t.queued_bytes <- t.queued_bytes - packet.Packet.wire_size;
       t.queued_packets <- t.queued_packets - 1;
       let tx = Rate.tx_time t.rate ~bytes_:packet.Packet.wire_size in
-      Engine.schedule t.engine ~delay:tx (fun () ->
-          t.tx_packets <- t.tx_packets + 1;
-          t.tx_bytes <- t.tx_bytes + packet.Packet.wire_size;
-          t.on_depart packet;
-          Engine.schedule t.engine ~delay:t.prop_delay (fun () ->
-              t.deliver packet);
-          transmit_next t)
+      Engine.Timer.reschedule t.tx_timer ~delay:tx
+
+and on_tx_done t =
+  match t.in_flight with
+  | None -> ()
+  | Some packet ->
+      t.in_flight <- None;
+      t.tx_packets <- t.tx_packets + 1;
+      t.tx_bytes <- t.tx_bytes + packet.Packet.wire_size;
+      t.on_depart packet;
+      let ready = Engine.now t.engine + t.prop_delay in
+      Queue.push (ready, packet) t.deliveries;
+      if not (Engine.Timer.pending t.delivery_timer) then
+        Engine.Timer.reschedule_at t.delivery_timer ~time:ready;
+      transmit_next t
+
+let on_delivery t =
+  (match Queue.take_opt t.deliveries with
+  | None -> ()
+  | Some (_, packet) -> t.deliver packet);
+  match Queue.peek_opt t.deliveries with
+  | Some (ready, _) -> Engine.Timer.reschedule_at t.delivery_timer ~time:ready
+  | None -> ()
+
+let create engine ~rate ~prop_delay ~classes ?priority_class ~deliver
+    ~on_depart () =
+  if classes <= 0 then invalid_arg "Txport.create: classes must be positive";
+  (match priority_class with
+  | Some p when p < 0 || p >= classes ->
+      invalid_arg "Txport.create: priority class out of range"
+  | Some _ | None -> ());
+  let t =
+    {
+      engine;
+      rate;
+      prop_delay;
+      queues = Array.init classes (fun _ -> Queue.create ());
+      priority_class;
+      deliver;
+      on_depart;
+      next_class = 0;
+      busy = false;
+      in_flight = None;
+      deliveries = Queue.create ();
+      tx_timer = Engine.Timer.create engine ignore;
+      delivery_timer = Engine.Timer.create engine ignore;
+      queued_bytes = 0;
+      queued_packets = 0;
+      tx_packets = 0;
+      tx_bytes = 0;
+    }
+  in
+  Engine.Timer.set_callback t.tx_timer (fun () -> on_tx_done t);
+  Engine.Timer.set_callback t.delivery_timer (fun () -> on_delivery t);
+  t
 
 let enqueue t ~cls packet =
   Queue.push packet t.queues.(cls);

@@ -24,10 +24,36 @@ type t = {
   cfg : config;
   prng : Prng.t;
   mutable last_delivery : Time.t; (* FIFO ordering floor *)
+  (* Messages in flight. Delivery times are strictly monotone (the FIFO
+     floor), so a plain queue ordered by arrival works and one
+     preallocated timer paces the whole channel. *)
+  inbox : (Time.t * (unit -> unit)) Queue.t;
+  delivery_timer : Engine.Timer.t;
 }
 
+let arm_inbox t =
+  match Queue.peek_opt t.inbox with
+  | Some (at, _) when not (Engine.Timer.pending t.delivery_timer) ->
+      Engine.Timer.reschedule_at t.delivery_timer ~time:at
+  | Some _ | None -> ()
+
+let on_delivery t =
+  (match Queue.take_opt t.inbox with None -> () | Some (_, k) -> k ());
+  arm_inbox t
+
 let create engine ?(config = default_config) ~prng () =
-  { engine; cfg = config; prng; last_delivery = 0 }
+  let t =
+    {
+      engine;
+      cfg = config;
+      prng;
+      last_delivery = 0;
+      inbox = Queue.create ();
+      delivery_timer = Engine.Timer.create engine ignore;
+    }
+  in
+  Engine.Timer.set_callback t.delivery_timer (fun () -> on_delivery t);
+  t
 
 let config t = t.cfg
 
@@ -37,7 +63,8 @@ let deliver_after t delay k =
   let now = Engine.now t.engine in
   let at = max (now + delay) (t.last_delivery + 1) in
   t.last_delivery <- at;
-  Engine.schedule t.engine ~delay:(at - now) k
+  Queue.push (at, k) t.inbox;
+  arm_inbox t
 
 let send t k = deliver_after t (uniform t t.cfg.one_way_min t.cfg.one_way_max) k
 

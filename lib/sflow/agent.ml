@@ -1,4 +1,5 @@
 module Time = Planck_util.Time
+module Heap = Planck_util.Heap
 module Prng = Planck_util.Prng
 module Engine = Planck_netsim.Engine
 module Switch = Planck_netsim.Switch
@@ -39,6 +40,12 @@ type t = {
      1/max_samples_per_sec, burst of a handful. *)
   mutable tokens : float;
   mutable last_refill : Time.t;
+  (* Datagrams in flight to the collector. Export latency is random so
+     arrivals are non-monotone: a min-heap orders them and one
+     preallocated timer tracks its head. *)
+  pending : sample Heap.t;
+  export_timer : Engine.Timer.t;
+  mutable export_armed_at : Time.t;
   mutable selected : int;
   mutable exported : int;
   mutable throttled : int;
@@ -54,6 +61,32 @@ let refill t =
       (t.tokens +. (elapsed *. float_of_int t.cfg.max_samples_per_sec));
   t.last_refill <- now
 
+let arm_export t =
+  match Heap.min_key t.pending with
+  | None -> ()
+  | Some at ->
+      if
+        (not (Engine.Timer.pending t.export_timer)) || at < t.export_armed_at
+      then begin
+        t.export_armed_at <- at;
+        Engine.Timer.reschedule_at t.export_timer ~time:at
+      end
+
+let on_export t =
+  let now = Engine.now t.engine in
+  let rec loop () =
+    match Heap.min_key t.pending with
+    | Some at when at <= now -> (
+        match Heap.pop t.pending with
+        | Some (_, sample) ->
+            t.collector sample;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  arm_export t
+
 let export t ~in_port ~out_port packet =
   refill t;
   if t.tokens >= 1.0 then begin
@@ -64,17 +97,18 @@ let export t ~in_port ~out_port packet =
       + Prng.int t.prng
           (max 1 (t.cfg.export_latency_max - t.cfg.export_latency_min))
     in
-    Engine.schedule t.engine ~delay:latency (fun () ->
-        t.collector
-          {
-            time = Engine.now t.engine;
-            key = Flow_key.of_packet packet;
-            wire_size = packet.Packet.wire_size;
-            in_port;
-            out_port;
-            dst_mac = Packet.dst_mac packet;
-            sampling_rate = t.cfg.sampling_rate;
-          })
+    let at = Engine.now t.engine + latency in
+    Heap.add t.pending ~key:at
+      {
+        time = at;
+        key = Flow_key.of_packet packet;
+        wire_size = packet.Packet.wire_size;
+        in_port;
+        out_port;
+        dst_mac = Packet.dst_mac packet;
+        sampling_rate = t.cfg.sampling_rate;
+      };
+    arm_export t
   end
   else t.throttled <- t.throttled + 1
 
@@ -89,11 +123,15 @@ let attach engine switch ?(config = default_config) ~prng ~collector () =
       collector;
       tokens = bucket_burst;
       last_refill = 0;
+      pending = Heap.create ();
+      export_timer = Engine.Timer.create engine ignore;
+      export_armed_at = 0;
       selected = 0;
       exported = 0;
       throttled = 0;
     }
   in
+  Engine.Timer.set_callback t.export_timer (fun () -> on_export t);
   Switch.add_forward_tap switch (fun ~in_port ~out_port packet ->
       (* Statistical 1-in-N selection. *)
       if Prng.int t.prng t.cfg.sampling_rate = 0 then begin

@@ -64,10 +64,9 @@ type t = {
   mutable cubic_epoch_w : float; (* window (MSS) when the epoch began *)
   mutable rto : Time.t;
   mutable rtt_probe : (int * Time.t) option; (* (covering ack, sent at) *)
-  (* Retransmission timer: a generation counter invalidates stale
-     scheduled expiries. *)
-  mutable timer_generation : int;
-  mutable timer_armed : bool;
+  (* Retransmission timer: a cancellable engine handle — rearming or
+     disarming leaves no zombie event in the queue. *)
+  rto_timer : Engine.Timer.t;
   (* Receiver variables. *)
   mutable rcv_nxt : int;
   mutable ooo : (int * int) list; (* disjoint sorted [start, stop) *)
@@ -207,14 +206,8 @@ let cubic_on_loss t =
   t.cubic_epoch <- -1;
   max (t.cwnd *. cubic_beta) (2.0 *. mss)
 
-let rec arm_timer t =
-  t.timer_generation <- t.timer_generation + 1;
-  t.timer_armed <- true;
-  let generation = t.timer_generation in
-  Engine.schedule t.engine ~delay:t.rto (fun () ->
-      if t.timer_armed && generation = t.timer_generation then on_timeout t)
-
-and disarm_timer t = t.timer_armed <- false
+let rec arm_timer t = Engine.Timer.reschedule t.rto_timer ~delay:t.rto
+and disarm_timer t = Engine.Timer.cancel t.rto_timer
 
 (* ---- RTO computation ---- *)
 
@@ -315,13 +308,13 @@ and try_send t =
         continue := send_new_data t ~window
       done
     end;
-    if flight t > 0 && not t.timer_armed then arm_timer t
+    if flight t > 0 && not (Engine.Timer.pending t.rto_timer) then
+      arm_timer t
   end
 
 (* ---- Timeout ---- *)
 
 and on_timeout t =
-  t.timer_armed <- false;
   if t.phase = Syn_sent then begin
     (* Lost SYN (or SYN-ACK): retry the handshake. *)
     t.timeouts <- t.timeouts + 1;
@@ -604,8 +597,7 @@ let start ~src ~dst ~src_port ~dst_port ~size ?(params = default_params)
       cubic_epoch_w = 0.0;
       rto = max params.min_rto (Time.ms 1000);
       rtt_probe = None;
-      timer_generation = 0;
-      timer_armed = false;
+      rto_timer = Engine.Timer.create engine ignore;
       rcv_nxt = params.isn;
       ooo = [];
       started_at = Engine.now engine;
@@ -615,6 +607,7 @@ let start ~src ~dst ~src_port ~dst_port ~size ?(params = default_params)
       on_complete;
     }
   in
+  Engine.Timer.set_callback t.rto_timer (fun () -> on_timeout t);
   (* ACKs arrive at the source with the reversed key; data arrives at
      the destination with the data key. *)
   Endpoint.register src (Flow_key.reverse data_key) (sender_receive t);
@@ -649,7 +642,9 @@ let debug_state t =
      rec=%b recover=%d retx_next=%d dupacks=%d timer=%b rto=%s ooo=%d"
     t.snd_una t.snd_nxt t.snd_max (int_of_float t.cwnd) t.ssthresh (pipe t)
     (sacked_bytes t) (List.length t.sacked) t.in_recovery t.recover
-    t.retx_next t.dupacks t.timer_armed (Time.to_string t.rto)
+    t.retx_next t.dupacks
+    (Engine.Timer.pending t.rto_timer)
+    (Time.to_string t.rto)
     (List.length t.ooo)
 
 let retransmits t = t.retransmits

@@ -34,11 +34,13 @@ let flush t =
 let flushes t = t.flushes
 
 (* The engine lives above this library (netsim depends on telemetry),
-   so periodic flushing takes the scheduler as a capability — pass
-   [Engine.every engine] partially applied:
+   so periodic flushing takes the scheduler as a capability and returns
+   whatever handle it produces — pass [Engine.every engine] partially
+   applied for fire-and-forget, or [Engine.periodic engine] to keep the
+   cancellable timer:
 
      Flusher.schedule fl ~period:(Time.ms 100)
-       ~every:(fun ~period f -> Engine.every engine ~period f)     *)
+       ~every:(fun ~period f -> Engine.periodic engine ~period f)  *)
 let schedule t ~every ~period =
   if period <= 0 then invalid_arg "Flusher.schedule: period must be positive";
   every ~period (fun () -> flush t)

@@ -36,9 +36,10 @@ val flushes : t -> int
 
 val schedule :
   t ->
-  every:(period:Planck_util.Time.t -> (unit -> unit) -> unit) ->
+  every:(period:Planck_util.Time.t -> (unit -> unit) -> 'handle) ->
   period:Planck_util.Time.t ->
-  unit
-(** Flush once per [period] via the provided scheduler (normally
-    [Engine.every engine]). Raises [Invalid_argument] on non-positive
-    periods. *)
+  'handle
+(** Flush once per [period] via the provided scheduler and return its
+    handle: pass [Engine.every engine] for fire-and-forget ([unit]) or
+    [Engine.periodic engine] to keep the cancellable [Engine.Timer.t].
+    Raises [Invalid_argument] on non-positive periods. *)

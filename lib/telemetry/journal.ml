@@ -65,7 +65,8 @@ let evicted t = t.evicted
 
 let clear t =
   Ring.clear t.ring;
-  t.evicted <- 0
+  t.evicted <- 0;
+  t.corr <- 0
 
 let set_writer t w = t.writer <- w
 

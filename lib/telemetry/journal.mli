@@ -106,6 +106,9 @@ val evicted : t -> int
     still has them). *)
 
 val clear : t -> unit
+(** Empty the ring and reset the eviction and correlation counters, so
+    consecutive runs against the same journal mint comparable ids. *)
+
 val set_writer : t -> (string -> unit) option -> unit
 
 (** {2 NDJSON codec}

@@ -31,9 +31,9 @@ val sample : t -> now:Time.t -> unit
 
 val start :
   t ->
-  every:(period:Time.t -> (unit -> unit) -> unit) ->
+  every:(period:Time.t -> (unit -> unit) -> 'handle) ->
   clock:(unit -> Time.t) ->
-  unit
+  'handle
 (** [start t ~every ~clock] samples on the simulation clock:
     [every ~period:(interval t) (fun () -> sample t ~now:(clock ()))].
     The scheduler is passed as a capability because telemetry sits below

@@ -16,12 +16,15 @@ let is_empty h = h.size = 0
 
 let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h =
-  let capacity = max 16 (2 * Array.length h.data) in
-  let dummy = h.data.(0) in
-  let data = Array.make capacity dummy in
-  Array.blit h.data 0 data 0 h.size;
-  h.data <- data
+(* Total from any state: [fill] seeds fresh slots, so growing works even
+   when the backing array is empty (no [h.data.(0)] dummy read). *)
+let ensure_capacity h fill =
+  if h.size = Array.length h.data then begin
+    let capacity = max 16 (2 * Array.length h.data) in
+    let data = Array.make capacity fill in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
 
 let swap h i j =
   let tmp = h.data.(i) in
@@ -53,13 +56,18 @@ let rec sift_down h i =
 let add h ~key value =
   let entry = { key; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  if Array.length h.data = 0 then h.data <- Array.make 16 entry
-  else if h.size = Array.length h.data then grow h;
+  ensure_capacity h entry;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let min_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let top = h.data.(0) in
+    Some (top.key, top.value)
 
 let pop h =
   if h.size = 0 then None

@@ -19,6 +19,10 @@ val add : 'a t -> key:int -> 'a -> unit
 val min_key : 'a t -> int option
 (** Key of the minimum element, or [None] if empty. O(1). *)
 
+val peek : 'a t -> (int * 'a) option
+(** The minimum element without removing it (same element {!pop} would
+    return next). O(1). *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum element (FIFO among equal keys).
     O(log n). *)

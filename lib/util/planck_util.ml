@@ -4,6 +4,7 @@
 
 module Time = Time
 module Heap = Heap
+module Timer_wheel = Timer_wheel
 module Ring = Ring
 module Prng = Prng
 module Stats = Stats

@@ -99,6 +99,25 @@ let test_hot_alloc () =
   check_clean "cold directory" ~path:"lib/controller/te.ml"
     (Printf.sprintf "let process n = %s\n" fmt)
 
+let test_hot_schedule () =
+  check_fires "closure to Engine.schedule in hot fn" "hot-schedule"
+    ~path:"lib/netsim/sw.ml"
+    "let forward t p = Engine.schedule t ~delay:5 (fun () -> drop t p)\n";
+  check_fires "closure to Engine.schedule_at" "hot-schedule"
+    ~path:"lib/tcp/f.ml"
+    "let process_ack t = Engine.schedule_at t ~at:9 (fun () -> retx t)\n";
+  check_fires "closure to Engine.every" "hot-schedule" ~path:"lib/sflow/a.ml"
+    "let sample t = Engine.every t ~period:7 (fun () -> export t)\n";
+  (* passing a preallocated callback is the blessed pattern *)
+  check_clean "identifier callback" ~path:"lib/netsim/sw.ml"
+    "let forward t k = Engine.schedule t ~delay:5 k\n";
+  check_clean "Timer.reschedule is fine" ~path:"lib/netsim/sw.ml"
+    "let forward t = Engine.Timer.reschedule t.timer ~delay:5\n";
+  check_clean "cold function" ~path:"lib/netsim/sw.ml"
+    "let setup t = Engine.schedule t ~delay:5 (fun () -> drop t)\n";
+  check_clean "cold directory" ~path:"lib/controller/te.ml"
+    "let forward t = Engine.schedule t ~delay:5 (fun () -> drop t)\n"
+
 (* ---- hygiene rules ---- *)
 
 let test_missing_mli () =
@@ -237,6 +256,7 @@ let tests =
     Alcotest.test_case "keyed-poly-equal rule" `Quick test_keyed_poly_equal;
     Alcotest.test_case "float-equality rule" `Quick test_float_equality;
     Alcotest.test_case "hot-alloc rule" `Quick test_hot_alloc;
+    Alcotest.test_case "hot-schedule rule" `Quick test_hot_schedule;
     Alcotest.test_case "missing-mli rule" `Quick test_missing_mli;
     Alcotest.test_case "open-lib rule" `Quick test_open_lib;
     Alcotest.test_case "ignored-result rule" `Quick test_ignored_result;

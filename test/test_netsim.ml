@@ -78,6 +78,94 @@ let engine_every () =
   Engine.run e;
   Alcotest.(check int) "4 ticks within horizon" 4 !hits
 
+let engine_timer_cancel () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let t = Engine.Timer.create e (fun () -> incr fired) in
+  Alcotest.(check bool) "unarmed at create" false (Engine.Timer.pending t);
+  Engine.Timer.reschedule t ~delay:(Time.us 10);
+  Alcotest.(check bool) "armed" true (Engine.Timer.pending t);
+  Engine.Timer.cancel t;
+  Alcotest.(check bool) "disarmed" false (Engine.Timer.pending t);
+  Engine.run e;
+  Alcotest.(check int) "cancelled timer never fires" 0 !fired;
+  Alcotest.(check int) "cancel counted" 1 (Engine.timers_cancelled e);
+  (* A cancelled timer is reusable: re-arm and let it fire. *)
+  Engine.Timer.reschedule t ~delay:(Time.us 5);
+  Engine.run e;
+  Alcotest.(check int) "re-armed timer fired" 1 !fired;
+  Alcotest.(check bool) "fired means not pending" false (Engine.Timer.pending t)
+
+let engine_timer_reschedule_supersedes () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let t = Engine.Timer.create e (fun () -> log := Engine.now e :: !log) in
+  Engine.Timer.reschedule t ~delay:(Time.us 10);
+  (* Re-arming replaces the earlier deadline: no zombie fire at 10us. *)
+  Engine.Timer.reschedule t ~delay:(Time.us 30);
+  Engine.run e;
+  Alcotest.(check (list int)) "single fire at new deadline" [ Time.us 30 ]
+    !log;
+  (* reschedule_at from within a callback: the RTO back-off shape. *)
+  Engine.Timer.set_callback t (fun () ->
+      log := Engine.now e :: !log;
+      if Engine.now e < Time.us 100 then
+        Engine.Timer.reschedule_at t ~time:(Time.us 100));
+  Engine.Timer.reschedule t ~delay:(Time.us 20);
+  Engine.run e;
+  Alcotest.(check (list int))
+    "chained fires" [ Time.us 100; Time.us 50; Time.us 30 ]
+    !log
+
+let engine_timer_periodic () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let t = Engine.periodic e ~period:(Time.us 10) (fun () -> incr hits) in
+  Engine.run ~until:(Time.us 35) e;
+  Alcotest.(check int) "3 ticks" 3 !hits;
+  (* The handle pauses and resumes the stream. *)
+  Engine.Timer.cancel t;
+  Engine.run ~until:(Time.us 95) e;
+  Alcotest.(check int) "paused" 3 !hits;
+  Engine.Timer.reschedule t ~delay:(Time.us 10);
+  Engine.run ~until:(Time.us 125) e;
+  Alcotest.(check int) "resumed at the same period" 6 !hits
+
+let engine_instance_metrics () =
+  let e = Engine.create ~label:"tnetsim-metrics" () in
+  Alcotest.(check string) "label" "tnetsim-metrics" (Engine.label e);
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:(Time.us i) (fun () -> ())
+  done;
+  Alcotest.(check int) "pending" 5 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Alcotest.(check int) "per-engine high water" 5 (Engine.max_pending e);
+  Alcotest.(check int) "processed" 5 (Engine.events_processed e)
+
+(* The same program through the wheel and the pre-wheel heap-only
+   scheduler: identical fire order and identical clock. *)
+let engine_heap_only_equivalence () =
+  let run config =
+    let e = Engine.create ~queue:config () in
+    let log = ref [] in
+    let prng = Prng.create ~seed:42 in
+    for i = 1 to 50 do
+      Engine.schedule e ~delay:(Prng.int prng (Time.ms 2)) (fun () ->
+          log := (i, Engine.now e) :: !log)
+    done;
+    let rto = Engine.Timer.create e (fun () -> log := (99, Engine.now e) :: !log) in
+    Engine.Timer.reschedule rto ~delay:(Time.us 1700);
+    Engine.Timer.reschedule rto ~delay:(Time.us 900);
+    Engine.every e ~period:(Time.us 100) ~until:(Time.ms 1) (fun () ->
+        log := (0, Engine.now e) :: !log);
+    Engine.run e;
+    (List.rev !log, Engine.now e, Engine.events_processed e)
+  in
+  let wheel = run (Engine.default_queue ()) in
+  let heap = run Planck_util.Timer_wheel.heap_only in
+  Alcotest.(check bool) "wheel and heap-only runs identical" true (wheel = heap)
+
 (* ---- Buffer pool ---- *)
 
 let pool_reservation () =
@@ -460,6 +548,16 @@ let tests =
       engine_nested_schedule;
     Alcotest.test_case "engine rejects past events" `Quick engine_rejects_past;
     Alcotest.test_case "engine periodic events" `Quick engine_every;
+    Alcotest.test_case "engine timer cancel and reuse" `Quick
+      engine_timer_cancel;
+    Alcotest.test_case "engine timer reschedule supersedes" `Quick
+      engine_timer_reschedule_supersedes;
+    Alcotest.test_case "engine periodic handle pause/resume" `Quick
+      engine_timer_periodic;
+    Alcotest.test_case "engine instance metrics" `Quick
+      engine_instance_metrics;
+    Alcotest.test_case "engine wheel vs heap-only equivalence" `Quick
+      engine_heap_only_equivalence;
     Alcotest.test_case "pool static reservation" `Quick pool_reservation;
     Alcotest.test_case "pool DT caps one queue" `Quick
       pool_dt_limits_single_port;

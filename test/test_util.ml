@@ -2,6 +2,7 @@
 
 module Time = Planck_util.Time
 module Heap = Planck_util.Heap
+module Wheel = Planck_util.Timer_wheel
 module Ring = Planck_util.Ring
 module Prng = Planck_util.Prng
 module Stats = Planck_util.Stats
@@ -58,6 +59,184 @@ let heap_sorts_qcheck =
         | Some (k, ()) -> drain (k :: acc)
       in
       drain [] = List.sort compare keys)
+
+(* Interleaved add/pop programs starting from a fresh [create ()]
+   (zero-capacity backing array) against a sorted-list model: exercises
+   [ensure_capacity] growth at every size, and FIFO order among equal
+   keys via unique insertion indices as values. *)
+let heap_mixed_ops_qcheck =
+  QCheck.Test.make ~name:"heap add/pop program matches sorted model"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 50)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let idx = ref 0 in
+      let take_min () =
+        match !model with
+        | [] -> None
+        | entries ->
+            let min =
+              List.fold_left
+                (fun acc e -> if compare e acc < 0 then e else acc)
+                (List.hd entries) entries
+            in
+            model := List.filter (fun e -> e <> min) !model;
+            Some min
+      in
+      List.for_all
+        (fun (is_pop, k) ->
+          if is_pop then Heap.pop h = take_min ()
+          else begin
+            Heap.add h ~key:k !idx;
+            model := (k, !idx) :: !model;
+            incr idx;
+            true
+          end)
+        ops
+      && (* drain: whatever remains must still pop in model order *)
+      List.for_all
+        (fun _ -> Heap.pop h = take_min ())
+        (List.init (Heap.length h) (fun i -> i)))
+
+(* ---- Timer wheel ---- *)
+
+(* A geometry small enough (32ns ticks, 512ns L0, 4.1us L1) that short
+   random programs constantly cascade L1 slots and spill to the
+   overflow heap. *)
+let wheel_small_config =
+  { Wheel.granularity_bits = 5; l0_bits = 4; l1_bits = 3 }
+
+(* Scheduler equivalence: one random event program (adds across every
+   delay magnitude, cancels, pops) replayed against a reference model
+   and every queue geometry — default wheel, a tiny cascade-heavy
+   wheel, and heap-only. All four must produce identical pop order
+   (key AND insertion index, i.e. the FIFO tie-break) and identical
+   cancel outcomes, or the wheel is not a drop-in for the heap. *)
+type wheel_trace = Popped of (int * int) option | Cancelled_ok of bool
+
+let wheel_program_gen =
+  (* (tag, n): tags 0-5 add with a tag-dependent delay magnitude,
+     6/7/9 pop, 8 cancels the (n mod adds)-th handle ever added. *)
+  QCheck.(list (pair (int_bound 9) (int_bound 10_000)))
+
+let wheel_delay tag n =
+  match tag with
+  | 0 | 1 | 2 -> n mod 64 (* sub-tick: forces equal-key FIFO ties *)
+  | 3 | 4 -> n (* within the small config's L0/L1/overflow split *)
+  | _ -> n * 997 (* up to ~10ms: default config L0 boundary and beyond *)
+
+let run_wheel_program config program =
+  let w = Wheel.create ~config () in
+  let handles = ref [] in
+  let n_handles = ref 0 in
+  let now = ref 0 in
+  let idx = ref 0 in
+  let trace = ref [] in
+  let pop () =
+    let r = Wheel.pop w in
+    (match r with Some (key, _) -> now := key | None -> ());
+    trace := Popped r :: !trace
+  in
+  List.iter
+    (fun (tag, n) ->
+      match tag with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+          let h = Wheel.add w ~key:(!now + wheel_delay tag n) !idx in
+          incr idx;
+          handles := h :: !handles;
+          incr n_handles
+      | 8 when !n_handles > 0 ->
+          let h = List.nth !handles (n mod !n_handles) in
+          trace := Cancelled_ok (Wheel.cancel w h) :: !trace
+      | 8 -> ()
+      | _ -> pop ())
+    program;
+  while not (Wheel.is_empty w) do
+    pop ()
+  done;
+  trace := Popped (Wheel.pop w) :: !trace;
+  List.rev !trace
+
+(* The reference: every entry ever added, with the same three-state
+   lifecycle as a wheel handle. *)
+let run_model_program program =
+  let entries = ref [] in
+  let n_entries = ref 0 in
+  let now = ref 0 in
+  let idx = ref 0 in
+  let trace = ref [] in
+  let pop () =
+    let live = List.filter (fun (_, _, state) -> !state = `Pending) !entries in
+    let r =
+      match live with
+      | [] -> None
+      | first :: rest ->
+          let (key, i, state) =
+            List.fold_left
+              (fun (bk, bi, bs) (k, i, s) ->
+                if (k, i) < (bk, bi) then (k, i, s) else (bk, bi, bs))
+              first rest
+          in
+          state := `Fired;
+          now := key;
+          Some (key, i)
+    in
+    trace := Popped r :: !trace;
+    r <> None
+  in
+  List.iter
+    (fun (tag, n) ->
+      match tag with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+          entries := (!now + wheel_delay tag n, !idx, ref `Pending) :: !entries;
+          incr idx;
+          incr n_entries
+      | 8 when !n_entries > 0 ->
+          let (_, _, state) = List.nth !entries (n mod !n_entries) in
+          let ok = !state = `Pending in
+          if ok then state := `Cancelled;
+          trace := Cancelled_ok ok :: !trace
+      | 8 -> ()
+      | _ -> ignore (pop ()))
+    program;
+  while pop () do
+    ()
+  done;
+  List.rev !trace
+
+let wheel_equivalence_qcheck =
+  QCheck.Test.make ~name:"timer wheel matches heap pop-for-pop" ~count:300
+    wheel_program_gen
+    (fun program ->
+      let reference = run_model_program program in
+      List.for_all
+        (fun config -> run_wheel_program config program = reference)
+        [ Wheel.default_config; wheel_small_config; Wheel.heap_only ])
+
+let wheel_cancel_compaction () =
+  let w = Wheel.create () in
+  let keep = Wheel.add w ~key:500_000 () in
+  let hs = List.init 200 (fun i -> Wheel.add w ~key:(1_000 * (i + 1)) ()) in
+  Alcotest.(check int) "seq is insertion order" 0 (Wheel.seq keep);
+  Alcotest.(check int) "key recorded" 500_000 (Wheel.key keep);
+  List.iter
+    (fun h -> Alcotest.(check bool) "cancel live" true (Wheel.cancel w h))
+    hs;
+  Alcotest.(check bool) "double cancel refused" false
+    (Wheel.cancel w (List.hd hs));
+  Alcotest.(check int) "one live entry" 1 (Wheel.length w);
+  Alcotest.(check int) "total cancelled" 200 (Wheel.total_cancelled w);
+  Alcotest.(check bool) "lazy deletes were compacted" true
+    (Wheel.compactions w > 0);
+  Alcotest.(check bool) "survivor pending" true (Wheel.is_pending keep);
+  Alcotest.(check (option (pair int unit)))
+    "survivor pops" (Some (500_000, ())) (Wheel.pop w);
+  Alcotest.(check bool) "fired is not pending" false (Wheel.is_pending keep);
+  Alcotest.(check bool) "cancel after fire refused" false (Wheel.cancel w keep);
+  Alcotest.(check (option (pair int unit))) "drained" None (Wheel.pop w);
+  Alcotest.(check int) "no cancelled residents left" 0
+    (Wheel.cancelled_resident w)
 
 (* ---- Ring ---- *)
 
@@ -309,6 +488,10 @@ let tests =
     Alcotest.test_case "heap basic ordering" `Quick heap_basic;
     Alcotest.test_case "heap FIFO tie-break" `Quick heap_fifo_ties;
     qtest heap_sorts_qcheck;
+    qtest heap_mixed_ops_qcheck;
+    qtest wheel_equivalence_qcheck;
+    Alcotest.test_case "wheel cancel, compaction, lifecycle" `Quick
+      wheel_cancel_compaction;
     Alcotest.test_case "ring FIFO and drops" `Quick ring_fifo;
     Alcotest.test_case "ring wraparound under interleaved ops" `Quick
       ring_wraparound;

@@ -86,6 +86,16 @@ let catalog =
          justification.";
     };
     {
+      id = "hot-schedule";
+      group = "hotpath";
+      default_severity = F.Error;
+      doc =
+        "A closure literal passed to Engine.schedule/schedule_at/every \
+         inside a per-packet/per-event function allocates a fresh closure \
+         per event and cannot be cancelled; preallocate an Engine.Timer.t \
+         handle and reschedule it.";
+    };
+    {
       id = "missing-mli";
       group = "hygiene";
       default_severity = F.Error;
@@ -359,7 +369,30 @@ let result_returning_call e =
           | [] -> false))
   | _ -> false
 
+(* hotpath: fresh closures handed to the engine in per-packet code *)
+let check_hot_schedule ctx whole fn args =
+  if ctx.c_hot_file && in_hot_fn ctx then
+    match fn.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match List.rev (flatten_lid txt) with
+        | ("schedule" | "schedule_at" | "every") :: "Engine" :: _ ->
+            let closure_literal ((_ : Asttypes.arg_label), a) =
+              match a.pexp_desc with
+              | Pexp_fun _ | Pexp_function _ -> true
+              | _ -> false
+            in
+            if List.exists closure_literal args then
+              report ctx ~loc:whole.pexp_loc ~rule:"hot-schedule"
+                (Printf.sprintf
+                   "fresh closure scheduled on the engine inside a \
+                    per-packet/per-event function (enclosing: %s); \
+                    preallocate an Engine.Timer.t and reschedule it"
+                   (String.concat " > " (List.rev ctx.fn_stack)))
+        | _ -> ())
+    | _ -> ()
+
 let check_apply ctx whole fn args =
+  check_hot_schedule ctx whole fn args;
   match (fn.pexp_desc, args) with
   | ( Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ },
       [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] ) ->
