@@ -92,7 +92,6 @@ let engine t = t.engine
 
 let check_port t port label =
   if port < 0 || port >= t.nports then
-    (* planck-lint: allow hot-alloc -- formats only on the raise path *)
     invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" label port)
 
 let connect t ~port ~rate ~prop_delay ~deliver =

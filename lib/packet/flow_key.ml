@@ -67,10 +67,12 @@ let hash (t : t) =
     t.protocol
 
 let pp ppf t =
+  (* planck-lint: allow hot-alloc -- journal labels only; call sites guard with Journal.enabled *)
   Format.fprintf ppf "%a:%d > %a:%d/%s" Ipv4_addr.pp t.src_ip t.src_port
     Ipv4_addr.pp t.dst_ip t.dst_port
     (if t.protocol = Headers.Ipv4.protocol_tcp then "tcp"
      else if t.protocol = Headers.Ipv4.protocol_udp then "udp"
+     (* planck-lint: allow hot-alloc -- same journal-only path *)
      else string_of_int t.protocol)
 
 module Key = struct

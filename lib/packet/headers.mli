@@ -8,7 +8,6 @@
 module Tcp_flags : sig
   type t = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
 
-  val none : t
   val syn : t
   val syn_ack : t
   val ack : t

@@ -27,5 +27,4 @@ let register t key f =
     invalid_arg "Endpoint.register: flow key already registered";
   Flow_key.Table.replace t.handlers key f
 
-let unregister t key = Flow_key.Table.remove t.handlers key
 let unclaimed t = t.unclaimed

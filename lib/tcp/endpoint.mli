@@ -18,7 +18,5 @@ val register :
     [key] is the key {e of the incoming packets} (source = remote peer).
     Raises [Invalid_argument] if the key is taken. *)
 
-val unregister : t -> Planck_packet.Flow_key.t -> unit
-
 val unclaimed : t -> int
 (** Segments that matched no registration. *)

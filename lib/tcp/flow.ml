@@ -93,6 +93,7 @@ let dst_host t = Endpoint.host t.dst
 
 (* Journal label; only built when the journal is enabled (call sites
    guard), so the formatting never costs the hot path anything. *)
+(* planck-lint: allow hot-alloc -- every caller guards with Journal.enabled *)
 let flow_label t = Format.asprintf "%a" Flow_key.pp t.data_key
 
 let data_packet t ~seq ~len ~flags =
@@ -636,16 +637,6 @@ let goodput t =
       if elapsed <= 0 then None
       else Some (Rate.of_bytes_per t.flow_size elapsed)
 
-let debug_state t =
-  Printf.sprintf
-    "una=%d nxt=%d max=%d cwnd=%d ssthresh=%.0f pipe=%d sacked=%d(%d rng) \
-     rec=%b recover=%d retx_next=%d dupacks=%d timer=%b rto=%s ooo=%d"
-    t.snd_una t.snd_nxt t.snd_max (int_of_float t.cwnd) t.ssthresh (pipe t)
-    (sacked_bytes t) (List.length t.sacked) t.in_recovery t.recover
-    t.retx_next t.dupacks
-    (Engine.Timer.pending t.rto_timer)
-    (Time.to_string t.rto)
-    (List.length t.ooo)
 
 let retransmits t = t.retransmits
 let timeouts t = t.timeouts

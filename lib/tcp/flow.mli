@@ -72,5 +72,3 @@ val timeouts : t -> int
 val cwnd_bytes : t -> int
 (** Current congestion window (diagnostic). *)
 
-val debug_state : t -> string
-(** One-line dump of the sender state machine (diagnostic). *)

@@ -1,3 +1,7 @@
+(* planck-lint: allow-file hot-alloc -- serialisation runs only when a
+   journal writer or an export is active, never on the default per-packet
+   path; Journal.record short-circuits before reaching it *)
+
 type t =
   | Null
   | Bool of bool
@@ -26,15 +30,16 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 let float_repr f =
-  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  if Float.is_nan f || Float.equal f infinity || Float.equal f neg_infinity
+  then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else
     (* Shortest representation that round-trips a double. *)
     let s = Printf.sprintf "%.17g" f in
-    if float_of_string s = f then
+    if Float.equal (float_of_string s) f then
       let shorter = Printf.sprintf "%.12g" f in
-      if float_of_string shorter = f then shorter else s
+      if Float.equal (float_of_string shorter) f then shorter else s
     else s
 
 let rec emit buf = function

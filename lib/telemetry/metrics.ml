@@ -106,7 +106,7 @@ module Gauge = struct
 
   let set_int g v = if g.g_reg.on then set g (float_of_int v)
   let value g = g.g_value
-  let max_value g = if g.g_max = neg_infinity then 0.0 else g.g_max
+  let max_value g = if Float.equal g.g_max neg_infinity then 0.0 else g.g_max
 end
 
 module Histogram = struct

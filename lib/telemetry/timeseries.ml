@@ -57,7 +57,8 @@ let float_str v =
   else if Float.is_nan v then "nan"
   else
     let s = Printf.sprintf "%.15g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+    if Float.equal (float_of_string s) v then s
+    else Printf.sprintf "%.17g" v
 
 let to_csv t =
   let names = names t in

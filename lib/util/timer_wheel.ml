@@ -219,7 +219,27 @@ let add t ~key value =
   let h = { h_key = key; h_seq = t.next_seq; h_value = value; h_state = Pending } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  route t h;
+  if t.w0 > 0 && t.live = 1 && t.n_cancelled = 0 then
+    (* Empty wheel: the sole resident entry parks directly in [due]
+       (possibly ahead of the cursor — the one place that is allowed),
+       skipping the slot insert on add and the bitmap scan on pop. This
+       is the transient add/pop rhythm the engine settles into between
+       bursts, where the wheel was 3x slower than the bare heap
+       (BENCH_4). The cursor does not move, so ordering state is
+       untouched. *)
+    t.due <- [ h ]
+  else begin
+    (* A parked ahead-of-cursor singleton only stays in [due] while it
+       is alone; route it back through the tiers before adding a second
+       entry, restoring the [due]-holds-only-reached-ticks invariant
+       that pop ordering relies on. *)
+    (match t.due with
+    | [ h0 ] when t.w0 > 0 && h0.h_key asr t.g_bits > t.base0 ->
+        t.due <- [];
+        route t h0
+    | _ -> ());
+    route t h
+  end;
   h
 
 (* Drop dead entries off the overflow head so its min is a live entry. *)

@@ -67,6 +67,3 @@ let shuffle_orders prng ~hosts =
       Prng.shuffle prng peers;
       peers)
 
-let describe pairs =
-  String.concat ", "
-    (List.map (fun { src; dst } -> Printf.sprintf "%d>%d" src dst) pairs)

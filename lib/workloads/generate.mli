@@ -31,5 +31,3 @@ val staggered_prob :
 val shuffle_orders : Planck_util.Prng.t -> hosts:int -> int array array
 (** [orders.(h)] is the random order in which host [h] visits the other
     hosts during a shuffle. *)
-
-val describe : pair list -> string

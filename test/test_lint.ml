@@ -225,6 +225,75 @@ let test_json_report () =
     (str_field "file");
   Alcotest.(check string) "severity round-trips" "error" (str_field "severity")
 
+(* ---- JSON string escaping ----
+
+   The report escaper must emit valid JSON for any byte string: control
+   characters as escapes, well-formed UTF-8 verbatim (exact round-trip),
+   malformed bytes sanitised. Round-trips go through the repo's own
+   telemetry JSON parser. *)
+
+let message_of_report source =
+  let findings =
+    [
+      Finding.v ~rule:"wall-clock" ~severity:Finding.Error ~file:"lib/x.ml"
+        ~line:1 ~col:0 source;
+    ]
+  in
+  match Json.of_string (Report.json_of ~findings ~suppressed:0 ~files:1) with
+  | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  | Ok doc ->
+      let listed =
+        Option.get (Json.to_list_opt (Option.get (Json.member doc "findings")))
+      in
+      Option.get
+        (Json.to_string_opt (Option.get (Json.member (List.hd listed) "message")))
+
+(* Valid UTF-8 strings built from scalar values, biased toward the
+   interesting regions: ASCII controls, quotes and backslashes, and 2-,
+   3-, and 4-byte sequences. *)
+let utf8_gen =
+  let open QCheck.Gen in
+  let scalar =
+    frequency
+      [
+        (4, int_range 0x00 0x1F); (* controls: must escape *)
+        (2, oneofl [ 0x22; 0x5C; 0x2F ]); (* quote, backslash, slash *)
+        (8, int_range 0x20 0x7E);
+        (3, int_range 0x80 0x7FF);
+        (3, int_range 0x800 0xD7FF); (* stops before surrogates *)
+        (2, int_range 0xE000 0xFFFF);
+        (2, int_range 0x10000 0x10FFFF);
+      ]
+  in
+  let encode cps =
+    let b = Buffer.create 32 in
+    List.iter (fun cp -> Buffer.add_utf_8_uchar b (Uchar.of_int cp)) cps;
+    Buffer.contents b
+  in
+  map encode (list_size (int_range 0 24) scalar)
+
+let json_escape_round_trip_qcheck =
+  QCheck.Test.make ~name:"valid UTF-8 report strings round-trip exactly"
+    ~count:500
+    (QCheck.make ~print:String.escaped utf8_gen)
+    (fun s -> String.equal (message_of_report s) s)
+
+let json_escape_any_bytes_qcheck =
+  QCheck.Test.make
+    ~name:"arbitrary bytes (incl. malformed UTF-8) still yield valid JSON"
+    ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 24))
+    (fun s -> ignore (message_of_report s : string); true)
+
+let test_json_escape_fixed () =
+  (* A known-answer row: NUL, tab, quote, backslash, a 2-byte and a
+     4-byte sequence survive unchanged through escape + parse. *)
+  let s = "a\x00\t\"\\\xc3\xa9\xf0\x9f\x90\xab end" in
+  Alcotest.(check string) "fixed vector round-trips" s (message_of_report s);
+  (* A lone continuation byte is malformed: the report must still be
+     parseable JSON (the byte is sanitised, not round-tripped). *)
+  ignore (message_of_report "bad \x80 byte" : string)
+
 (* ---- the repo is lint-clean ---- *)
 
 let test_repo_clean () =
@@ -237,13 +306,27 @@ let test_repo_clean () =
       ~finally:(fun () -> Sys.chdir cwd)
       (fun () ->
         Sys.chdir root;
-        let r = Engine.lint_paths [ "lib" ] in
+        (* Deep tier with the build tree's own .cmt files: the typed
+           rules replace their syntactic cousins on covered files, so
+           this checks the same configuration CI enforces. Dead-export
+           needs bin/bench cmts for references, which a bare runtest
+           need not have built, so it stays off here. *)
+        let deep =
+          {
+            Engine.cmt_dirs = [ "." ];
+            baseline_file = None;
+            dead_export = false;
+          }
+        in
+        let r = Engine.lint_paths ~deep [ "lib" ] in
         Alcotest.(check (list string)) "no unsuppressed findings in lib/" []
           (List.map
              (fun f ->
                Printf.sprintf "%s:%d [%s]" f.Finding.file f.Finding.line
                  f.Finding.rule)
              r.Engine.kept);
+        Alcotest.(check bool) "deep tier indexed the build tree" true
+          (r.Engine.deep_units > 20);
         Alcotest.(check bool) "linted a non-trivial tree" true
           (r.Engine.files_linted > 20))
 
@@ -264,5 +347,9 @@ let tests =
     Alcotest.test_case "suppression directives" `Quick test_suppression;
     Alcotest.test_case "text report" `Quick test_text_report;
     Alcotest.test_case "json report" `Quick test_json_report;
+    Alcotest.test_case "json escaping fixed vectors" `Quick
+      test_json_escape_fixed;
+    QCheck_alcotest.to_alcotest json_escape_round_trip_qcheck;
+    QCheck_alcotest.to_alcotest json_escape_any_bytes_qcheck;
     Alcotest.test_case "repo tree is lint-clean" `Quick test_repo_clean;
   ]

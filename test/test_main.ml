@@ -21,4 +21,5 @@ let () =
       ("placement", Test_placement.tests);
       ("smoke", Test_smoke.tests);
       ("lint", Test_lint.tests);
+      ("lint-deep", Test_lint_deep.tests);
     ]

@@ -1,9 +1,18 @@
-(* planck-lint: AST-level static analysis for the Planck reproduction.
+(* planck-lint: static analysis for the Planck reproduction.
 
    Usage: planck_lint [--json] [--out FILE] [--list-rules]
-                      [--disable RULE] [--warn-only RULE] PATH...
+                      [--disable RULE] [--warn-only RULE]
+                      [--deep] [--cmt-dir DIR] [--baseline FILE]
+                      [--no-dead-export] PATH...
 
-   Exits 1 when any error-severity finding survives suppressions. *)
+   Two tiers: the syntactic AST pass always runs; --deep additionally
+   loads the repo's .cmt typedtree artifacts and replaces the
+   heuristic hot-path / poly-compare / determinism rules with
+   call-graph reachability, instantiated-type checks, interprocedural
+   taint, and the dead-export analysis on every covered file.
+
+   Exits 1 when any error-severity finding survives suppressions and
+   the baseline. *)
 
 module F = Planck_lint_lib.Lint_finding
 module Rules = Planck_lint_lib.Lint_rules
@@ -16,6 +25,10 @@ let () =
   let list_rules = ref false in
   let disabled = ref [] in
   let warn_only = ref [] in
+  let deep = ref false in
+  let cmt_dirs = ref [] in
+  let baseline = ref "" in
+  let dead_export = ref true in
   let paths = ref [] in
   let check_rule flag r =
     if not (Rules.is_known r) then begin
@@ -37,6 +50,18 @@ let () =
       ( "--warn-only",
         Arg.String (fun r -> warn_only := check_rule "--warn-only" r :: !warn_only),
         "RULE downgrade RULE to a non-fatal warning (repeatable)" );
+      ("--deep", Arg.Set deep, " run the typed .cmt tier as well");
+      ( "--cmt-dir",
+        Arg.String (fun d -> cmt_dirs := d :: !cmt_dirs),
+        "DIR scan DIR recursively for .cmt/.cmti artifacts (repeatable; \
+         default _build/default, or . when absent)" );
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE deep-finding baseline file (default \
+         tools/lint/lint_baseline.txt when present)" );
+      ( "--no-dead-export",
+        Arg.Clear dead_export,
+        " skip the dead-export analysis (for partial cmt sets)" );
     ]
   in
   let usage = "planck_lint [options] PATH..." in
@@ -49,7 +74,35 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  let result = Engine.lint_paths (List.rev !paths) in
+  let deep_opts =
+    if not !deep then None
+    else
+      let dirs =
+        match List.rev !cmt_dirs with
+        | [] ->
+            if Sys.file_exists "_build/default" then [ "_build/default" ]
+            else [ "." ]
+        | dirs -> dirs
+      in
+      let default_baseline = "tools/lint/lint_baseline.txt" in
+      let baseline_file =
+        if !baseline <> "" then Some !baseline
+        else if Sys.file_exists default_baseline then Some default_baseline
+        else None
+      in
+      Some
+        {
+          Engine.cmt_dirs = dirs;
+          baseline_file;
+          dead_export = !dead_export;
+        }
+  in
+  let result =
+    try Engine.lint_paths ?deep:deep_opts (List.rev !paths)
+    with Failure msg ->
+      prerr_endline ("planck_lint: " ^ msg);
+      exit 2
+  in
   let findings =
     result.Engine.kept
     |> List.filter (fun f -> not (List.mem f.F.rule !disabled))
@@ -57,7 +110,9 @@ let () =
            if List.mem f.F.rule !warn_only then { f with F.severity = F.Warning }
            else f)
   in
-  let suppressed = result.Engine.suppressed_count in
+  let suppressed =
+    result.Engine.suppressed_count + result.Engine.baselined_count
+  in
   let files = result.Engine.files_linted in
   let rendered =
     if !json then Report.json_of ~findings ~suppressed ~files

@@ -1,0 +1,790 @@
+(* Whole-repo typed index, built from the compiler's .cmt/.cmti
+   artifacts (compiler-libs only — the same dependency footprint as the
+   syntactic tier).
+
+   The index is the data layer of the deep tier: one pass over every
+   typedtree records
+
+   - defs: structure-level value bindings, qualified by compilation
+     unit and submodule path ("Planck_netsim__Engine.Timer.cancel");
+   - edges: for each def, every global value it references (callee or
+     captured callback — both count for reachability);
+   - events: occurrences the deep rules care about, with their
+     instantiated types — polymorphic compare/equality/hash uses,
+     allocation smells, closure literals handed to the engine, and
+     determinism sources (wall clock, ambient randomness, unsorted
+     hashtable iteration);
+   - exports: every value declared in an .mli, for the dead-export
+     rule, plus which units reference each value;
+   - manifests: transparent type abbreviations (type t = int), so the
+     type classifier can see through them without an Env.
+
+   Paths in a typedtree arrive in several spellings for the same value
+   (dune's wrapped-library aliases: [Planck_netsim.Switch.ingress] from
+   outside the library, [Planck_netsim__.Switch.ingress] from inside,
+   a plain stamped ident from the defining unit itself, and local
+   [module T = ...] aliases). [resolve] normalises all of them to the
+   defining unit's qualified name so the graph has one node per value. *)
+
+module SS = Set.Make (String)
+
+(* ---- Types ---- *)
+
+type ty_shape =
+  | Imm  (** int / char / bool / unit — safe under polymorphic compare *)
+  | TFloat
+  | TString
+  | TPoly  (** still a type variable at the use site *)
+  | TOther of string  (** anything structured; payload is the rendered type *)
+
+type source_kind = Wall_clock | Ambient_random | Hashtbl_iter
+
+type event_kind =
+  | Poly_fun of { op : string; shape : ty_shape; rendered : string }
+      (** a polymorphic primitive used as a value or applied:
+          compare, Hashtbl.hash, ... *)
+  | Poly_eq of {
+      op : string;
+      shape : ty_shape;
+      rendered : string;
+      constantish : bool;
+    }  (** structural =/<> with the instantiated operand type *)
+  | Alloc of string  (** Printf/Format/(^)/string_of_* reference *)
+  | Schedule_closure of string
+      (** closure literal passed to Engine.schedule/schedule_at/every *)
+  | Source of source_kind * string  (** determinism-taint source *)
+
+type event = {
+  e_def : string;  (** enclosing def id *)
+  e_file : string;
+  e_line : int;
+  e_col : int;
+  e_kind : event_kind;
+  e_in_raise : bool;  (** inside the argument of raise/failwith/... *)
+}
+
+type def = { d_id : string; d_unit : string; d_file : string; d_line : int }
+
+type export = { x_id : string; x_unit : string; x_file : string; x_line : int }
+
+type t = {
+  unit_files : (string, string) Hashtbl.t;  (* impl unit -> source file *)
+  known_units : (string, unit) Hashtbl.t;  (* impl + intf unit names *)
+  defs : (string, def) Hashtbl.t;
+  edges : (string, SS.t ref) Hashtbl.t;  (* def id -> referenced ids *)
+  ref_units : (string, SS.t ref) Hashtbl.t;  (* target id -> referencing units *)
+  mutable events : event list;
+  mutable exports : export list;
+  manifests : (string, Types.type_expr) Hashtbl.t;  (* "Unit.tyname" *)
+  functor_used : (string, unit) Hashtbl.t;
+      (* units passed to functors / included / packed: every export of
+         such a unit counts as referenced (the functor sees them all) *)
+}
+
+let create () =
+  {
+    unit_files = Hashtbl.create 128;
+    known_units = Hashtbl.create 256;
+    defs = Hashtbl.create 1024;
+    edges = Hashtbl.create 1024;
+    ref_units = Hashtbl.create 1024;
+    events = [];
+    exports = [];
+    manifests = Hashtbl.create 256;
+    functor_used = Hashtbl.create 16;
+  }
+
+let units t = Hashtbl.fold (fun u _ acc -> u :: acc) t.unit_files []
+let unit_count t = Hashtbl.length t.unit_files
+let def_count t = Hashtbl.length t.defs
+let file_of_unit t u = Hashtbl.find_opt t.unit_files u
+let has_file t f = Hashtbl.fold (fun _ v acc -> acc || v = f) t.unit_files false
+let events t = t.events
+let exports t = t.exports
+let find_def t id = Hashtbl.find_opt t.defs id
+let iter_defs t f = Hashtbl.iter (fun _ d -> f d) t.defs
+
+let edges_of t id =
+  match Hashtbl.find_opt t.edges id with Some s -> !s | None -> SS.empty
+
+let iter_edges t f = Hashtbl.iter (fun caller s -> f caller !s) t.edges
+
+let referencing_units t id =
+  match Hashtbl.find_opt t.ref_units id with
+  | Some s -> SS.elements !s
+  | None -> []
+
+let functor_used_unit t u = Hashtbl.mem t.functor_used u
+
+let note_unit_ref t ~from_unit ~target =
+  match Hashtbl.find_opt t.ref_units target with
+  | Some s -> s := SS.add from_unit !s
+  | None -> Hashtbl.replace t.ref_units target (ref (SS.singleton from_unit))
+
+(* ---- Dotted-suffix matching ----
+
+   Patterns like "Engine.schedule" must match
+   "Planck_netsim__Engine.schedule" (the wrapped unit name ends in
+   "__Engine") as well as "Fixture.Engine.schedule" (a submodule), but
+   not "Stdlib.reschedule". The leftmost pattern component may match a
+   component suffix only at a "__" boundary. *)
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let split_dots s = String.split_on_char '.' s
+
+let suffix_matches ~pattern target =
+  let p = split_dots pattern and c = split_dots target in
+  let np = List.length p and nc = List.length c in
+  if nc < np then false
+  else
+    let tail = List.filteri (fun i _ -> i >= nc - np) c in
+    match (p, tail) with
+    | p0 :: prest, c0 :: crest ->
+        (c0 = p0 || ends_with ~suffix:("__" ^ p0) c0) && prest = crest
+    | _ -> false
+
+let any_suffix_matches patterns target =
+  List.exists (fun pattern -> suffix_matches ~pattern target) patterns
+
+(* ---- Interesting externals ---- *)
+
+let poly_fun_ops =
+  [
+    ("Stdlib.compare", "compare");
+    ("Stdlib.Hashtbl.hash", "Hashtbl.hash");
+    ("Stdlib.Hashtbl.seeded_hash", "Hashtbl.seeded_hash");
+    ("Stdlib.Hashtbl.hash_param", "Hashtbl.hash_param");
+  ]
+
+let eq_ops = [ ("Stdlib.=", "="); ("Stdlib.<>", "<>") ]
+
+let alloc_smells =
+  [ "Stdlib.^"; "Stdlib.String.concat"; "Stdlib.Bytes.concat";
+    "Stdlib.string_of_int"; "Stdlib.string_of_float"; "Stdlib.string_of_bool" ]
+
+let alloc_smell_prefixes = [ "Stdlib.Printf."; "Stdlib.Format." ]
+
+let wall_clock_sources =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime";
+    "Unix.mktime"; "Stdlib.Sys.time" ]
+
+let wall_clock_prefixes = [ "Mtime." ]
+
+let raise_like =
+  [ "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg"; "Stdlib.exit" ]
+
+let schedule_ops = [ "Engine.schedule"; "Engine.schedule_at"; "Engine.every" ]
+
+let hashtbl_iter_patterns =
+  [ "Hashtbl.iter"; "Hashtbl.fold"; "Table.iter"; "Table.fold" ]
+
+let ambient_random target =
+  match String.index_opt target '.' with
+  | Some i when String.sub target 0 i = "Random" -> (
+      let rest = String.sub target (i + 1) (String.length target - i - 1) in
+      match rest with
+      | "self_init" | "State.make_self_init" -> true
+      | _ -> not (String.length rest >= 6 && String.sub rest 0 6 = "State."))
+  | _ -> false
+
+(* ---- Path flattening & normalisation ---- *)
+
+let rec flatten_path p acc =
+  match p with
+  | Path.Pident id -> (id, acc)
+  | Path.Pdot (p, s) -> flatten_path p (s :: acc)
+  | Path.Papply (f, _) -> flatten_path f acc
+  | Path.Pextra_ty (p, _) -> flatten_path p acc
+
+type target =
+  | TDef of string  (** a value of an indexed unit, by qualified id *)
+  | TExtern of string  (** outside the repo: "Stdlib.Printf.sprintf" *)
+  | TNone  (** a local (function parameter, let-bound) value *)
+
+let normalize_unit t head comps =
+  let mk u rest =
+    match rest with
+    | [] -> TExtern u (* bare module reference *)
+    | _ -> TDef (u ^ "." ^ String.concat "." rest)
+  in
+  match comps with
+  | m1 :: rest ->
+      let cand = if ends_with ~suffix:"__" head then head ^ m1 else head ^ "__" ^ m1 in
+      if Hashtbl.mem t.known_units cand then mk cand rest
+      else if Hashtbl.mem t.known_units head then mk head comps
+      else TExtern (String.concat "." (head :: comps))
+  | [] ->
+      if Hashtbl.mem t.known_units head then TExtern head
+      else TExtern head
+
+(* ---- Per-unit walking context ---- *)
+
+module ITbl = Hashtbl.Make (struct
+  type t = Ident.t
+
+  let equal = Ident.same
+  let hash = Hashtbl.hash
+end)
+
+type mod_binding = MLocal of string (* def-id prefix inside the unit *)
+                 | MAlias of Path.t
+
+type ictx = {
+  ix : t;
+  unit_name : string;
+  file : string;
+  mutable cur_def : string;
+  mutable raise_depth : int;
+  vals : string ITbl.t;  (* structure-level value ident -> def id *)
+  mods : mod_binding ITbl.t;
+}
+
+let rec resolve_flat ctx (head, comps) =
+  if Ident.persistent head || Ident.global head then
+    normalize_unit ctx.ix (Ident.name head) comps
+  else
+    match (ITbl.find_opt ctx.vals head, comps) with
+    | Some def_id, [] -> TDef def_id
+    | _ -> (
+        match ITbl.find_opt ctx.mods head with
+        | Some (MAlias p) ->
+            let head', comps' = flatten_path p [] in
+            resolve_flat ctx (head', comps' @ comps)
+        | Some (MLocal prefix) -> (
+            match comps with
+            | [] -> TNone
+            | _ ->
+                TDef
+                  (ctx.unit_name ^ "." ^ prefix ^ String.concat "." comps))
+        | None -> TNone)
+
+let resolve ctx p = resolve_flat ctx (flatten_path p [])
+
+let target_name = function TDef s | TExtern s -> Some s | TNone -> None
+
+(* ---- Type classification ---- *)
+
+let render_type ty =
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>"
+
+let manifest_key ctx p =
+  let head, comps = flatten_path p [] in
+  if Ident.persistent head || Ident.global head then
+    match normalize_unit ctx.ix (Ident.name head) comps with
+    | TDef id -> Some id
+    | TExtern _ | TNone -> None
+  else
+    match comps with
+    | [] -> Some (ctx.unit_name ^ "." ^ Ident.name head)
+    | _ -> (
+        match ITbl.find_opt ctx.mods head with
+        | Some (MLocal prefix) ->
+            Some (ctx.unit_name ^ "." ^ prefix ^ String.concat "." comps)
+        | _ -> None)
+
+let rec classify ctx depth ty =
+  if depth > 8 then TOther (render_type ty)
+  else
+    match Types.get_desc ty with
+    | Types.Tvar _ | Types.Tunivar _ -> TPoly
+    | Types.Tpoly (ty, _) -> classify ctx (depth + 1) ty
+    | Types.Tconstr (p, args, _) ->
+        if
+          Path.same p Predef.path_int || Path.same p Predef.path_char
+          || Path.same p Predef.path_bool
+          || Path.same p Predef.path_unit
+        then Imm
+        else if Path.same p Predef.path_float then TFloat
+        else if Path.same p Predef.path_string || Path.same p Predef.path_bytes
+        then TString
+        else if args <> [] then TOther (render_type ty)
+        else (
+          match manifest_key ctx p with
+          | Some key -> (
+              match Hashtbl.find_opt ctx.ix.manifests key with
+              | Some body -> classify ctx (depth + 1) body
+              | None -> TOther (render_type ty))
+          | None -> TOther (render_type ty))
+    | _ -> TOther (render_type ty)
+
+let rec arrow_arg n ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, b, _) -> if n = 0 then Some a else arrow_arg (n - 1) b
+  | Types.Tpoly (ty, _) -> arrow_arg n ty
+  | _ -> None
+
+let classify_op ctx ~op ty =
+  (* which arrow argument carries the compared type *)
+  let slot = if op = "Hashtbl.seeded_hash" || op = "Hashtbl.hash_param" then 2 else 0 in
+  match arrow_arg slot ty with
+  | Some arg -> (classify ctx 0 arg, render_type arg)
+  | None -> (TPoly, render_type ty)
+
+(* ---- Event recording ---- *)
+
+let record_event ctx loc kind =
+  let pos = loc.Location.loc_start in
+  ctx.ix.events <-
+    {
+      e_def = ctx.cur_def;
+      e_file = ctx.file;
+      e_line = pos.Lexing.pos_lnum;
+      e_col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+      e_kind = kind;
+      e_in_raise = ctx.raise_depth > 0;
+    }
+    :: ctx.ix.events
+
+let record_edge ctx tgt =
+  match target_name tgt with
+  | None -> ()
+  | Some name ->
+      (* References inside raise/failwith/invalid_arg arguments count
+         for dead-export (the value IS used) but not as call-graph
+         edges: an error path terminates per-packet processing, so it
+         neither makes its targets hot nor propagates taint. *)
+      if ctx.raise_depth = 0 then
+        (match Hashtbl.find_opt ctx.ix.edges ctx.cur_def with
+        | Some s -> s := SS.add name !s
+        | None ->
+            Hashtbl.replace ctx.ix.edges ctx.cur_def (ref (SS.singleton name)));
+      (match tgt with
+      | TDef id -> note_unit_ref ctx.ix ~from_unit:ctx.unit_name ~target:id
+      | TExtern _ | TNone -> ())
+
+let note_ident ctx p loc ty =
+  let tgt = resolve ctx p in
+  record_edge ctx tgt;
+  match target_name tgt with
+  | None -> ()
+  | Some name ->
+      (match List.assoc_opt name poly_fun_ops with
+      | Some op ->
+          let shape, rendered = classify_op ctx ~op ty in
+          record_event ctx loc (Poly_fun { op; shape; rendered })
+      | None -> ());
+      (match List.assoc_opt name eq_ops with
+      | Some op ->
+          (* an =/<> passed as a function value, not applied: no operand
+             expressions to exempt, so treat like bare compare *)
+          let shape, rendered = classify_op ctx ~op ty in
+          record_event ctx loc (Poly_fun { op; shape; rendered })
+      | None -> ());
+      if
+        List.mem name alloc_smells
+        || List.exists
+             (fun pre ->
+               String.length name >= String.length pre
+               && String.sub name 0 (String.length pre) = pre)
+             alloc_smell_prefixes
+      then record_event ctx loc (Alloc name);
+      if
+        List.mem name wall_clock_sources
+        || List.exists
+             (fun pre ->
+               String.length name >= String.length pre
+               && String.sub name 0 (String.length pre) = pre)
+             wall_clock_prefixes
+      then record_event ctx loc (Source (Wall_clock, name));
+      if ambient_random name then
+        record_event ctx loc (Source (Ambient_random, name));
+      if any_suffix_matches hashtbl_iter_patterns name then
+        record_event ctx loc (Source (Hashtbl_iter, name))
+
+let constantish (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_constant _ | Typedtree.Texp_construct _
+  | Typedtree.Texp_variant _ ->
+      true
+  | Typedtree.Texp_ident (Path.Pdot _, _, _) -> true
+  | _ -> false
+
+(* ---- The typedtree iterator ---- *)
+
+let is_function_literal (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> true
+  | _ -> false
+
+let mark_functor_arg ctx (me : Typedtree.module_expr) =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_ident (p, _) -> (
+      let head, comps = flatten_path p [] in
+      if Ident.persistent head || Ident.global head then
+        let u =
+          match comps with
+          | m1 :: _ ->
+              let h = Ident.name head in
+              let cand = if ends_with ~suffix:"__" h then h ^ m1 else h ^ "__" ^ m1 in
+              if Hashtbl.mem ctx.ix.known_units cand then cand else h
+          | [] -> Ident.name head
+        in
+        Hashtbl.replace ctx.ix.functor_used u ()
+      else
+        match ITbl.find_opt ctx.mods head with
+        | Some (MAlias p') -> (
+            let head', _ = flatten_path p' [] in
+            if Ident.persistent head' || Ident.global head' then
+              Hashtbl.replace ctx.ix.functor_used (Ident.name head') ())
+        | _ -> ())
+  | _ -> ()
+
+let iterator ctx =
+  let default = Tast_iterator.default_iterator in
+  let resolve_apply_edge ctx (fn : Typedtree.expression) =
+    match fn.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> record_edge ctx (resolve ctx p)
+    | _ -> ()
+  in
+  let expr sub (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+        note_ident ctx p e.Typedtree.exp_loc e.Typedtree.exp_type
+    | Typedtree.Texp_apply (fn, args) -> (
+        let fn_target =
+          match fn.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> target_name (resolve ctx p)
+          | _ -> None
+        in
+        let walk_args () =
+          List.iter (fun (_, a) -> Option.iter (sub.Tast_iterator.expr sub) a) args
+        in
+        match fn_target with
+        | Some name when List.mem_assoc name eq_ops -> (
+            (* record the =/<> application once, with operand context,
+               and skip the bare-ident event for the operator itself *)
+            let op = List.assoc name eq_ops in
+            let shape, rendered =
+              classify_op ctx ~op fn.Typedtree.exp_type
+            in
+            let cst =
+              match args with
+              | [ (_, Some a); (_, Some b) ] -> constantish a || constantish b
+              | _ -> false
+            in
+            record_event ctx fn.Typedtree.exp_loc
+              (Poly_eq { op; shape; rendered; constantish = cst });
+            resolve_apply_edge ctx fn;
+            walk_args ())
+        | Some name when List.mem name raise_like ->
+            sub.Tast_iterator.expr sub fn;
+            ctx.raise_depth <- ctx.raise_depth + 1;
+            walk_args ();
+            ctx.raise_depth <- ctx.raise_depth - 1
+        | Some name when any_suffix_matches schedule_ops name ->
+            if
+              List.exists
+                (fun (_, a) ->
+                  match a with Some a -> is_function_literal a | None -> false)
+                args
+            then record_event ctx e.Typedtree.exp_loc (Schedule_closure name);
+            default.Tast_iterator.expr sub e
+        | _ -> default.Tast_iterator.expr sub e)
+    | Typedtree.Texp_pack me ->
+        mark_functor_arg ctx me;
+        default.Tast_iterator.expr sub e
+    | _ -> default.Tast_iterator.expr sub e
+  in
+  let module_expr sub (me : Typedtree.module_expr) =
+    (match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_apply (_, arg, _) -> mark_functor_arg ctx arg
+    | _ -> ());
+    default.Tast_iterator.module_expr sub me
+  in
+  { default with Tast_iterator.expr; module_expr }
+
+(* ---- Structure-level walk (defines the def boundaries) ---- *)
+
+let register_def ctx ~prefix ~name ~loc =
+  let d_id = ctx.unit_name ^ "." ^ prefix ^ name in
+  let pos = loc.Location.loc_start in
+  Hashtbl.replace ctx.ix.defs d_id
+    { d_id; d_unit = ctx.unit_name; d_file = ctx.file; d_line = pos.Lexing.pos_lnum };
+  d_id
+
+let with_def ctx d_id f =
+  let saved = ctx.cur_def in
+  ctx.cur_def <- d_id;
+  f ();
+  ctx.cur_def <- saved
+
+let register_manifest ctx ~prefix (td : Typedtree.type_declaration) =
+  match (td.Typedtree.typ_manifest, td.Typedtree.typ_params) with
+  | Some core, [] ->
+      Hashtbl.replace ctx.ix.manifests
+        (ctx.unit_name ^ "." ^ prefix ^ Ident.name td.Typedtree.typ_id)
+        core.Typedtree.ctyp_type
+  | _ -> ()
+
+let rec walk_items ctx prefix items it =
+  List.iter (fun item -> walk_item ctx prefix item it) items
+
+and walk_item ctx prefix (item : Typedtree.structure_item) it =
+  match item.Typedtree.str_desc with
+  | Typedtree.Tstr_value (_, vbs) ->
+      (* register names first so recursive and later references resolve *)
+      let named =
+        List.map
+          (fun (vb : Typedtree.value_binding) ->
+            let ids = Typedtree.pat_bound_idents vb.Typedtree.vb_pat in
+            let d_id =
+              match ids with
+              | id :: _ ->
+                  register_def ctx ~prefix ~name:(Ident.name id)
+                    ~loc:vb.Typedtree.vb_loc
+              | [] -> ctx.unit_name ^ "." ^ prefix ^ "(let)"
+            in
+            List.iter
+              (fun id ->
+                let did =
+                  register_def ctx ~prefix ~name:(Ident.name id)
+                    ~loc:vb.Typedtree.vb_loc
+                in
+                ITbl.replace ctx.vals id did)
+              ids;
+            (vb, d_id))
+          vbs
+      in
+      List.iter
+        (fun ((vb : Typedtree.value_binding), d_id) ->
+          with_def ctx d_id (fun () ->
+              it.Tast_iterator.expr it vb.Typedtree.vb_expr))
+        named
+  | Typedtree.Tstr_eval (e, _) ->
+      with_def ctx
+        (ctx.unit_name ^ "." ^ prefix ^ "(init)")
+        (fun () -> it.Tast_iterator.expr it e)
+  | Typedtree.Tstr_type (_, tds) ->
+      List.iter (register_manifest ctx ~prefix) tds
+  | Typedtree.Tstr_module mb -> walk_module_binding ctx prefix mb it
+  | Typedtree.Tstr_recmodule mbs ->
+      List.iter (fun mb -> walk_module_binding ctx prefix mb it) mbs
+  | Typedtree.Tstr_include { Typedtree.incl_mod; _ } ->
+      mark_functor_arg ctx incl_mod;
+      with_def ctx
+        (ctx.unit_name ^ "." ^ prefix ^ "(include)")
+        (fun () -> it.Tast_iterator.module_expr it incl_mod)
+  | _ -> ()
+
+and walk_module_binding ctx prefix (mb : Typedtree.module_binding) it =
+  let name =
+    match mb.Typedtree.mb_id with Some id -> Some (Ident.name id) | None -> None
+  in
+  walk_module_expr ctx prefix ~binder:mb.Typedtree.mb_id ~name
+    mb.Typedtree.mb_expr it
+
+and walk_module_expr ctx prefix ~binder ~name (me : Typedtree.module_expr) it =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_structure s ->
+      let sub_prefix =
+        match name with Some n -> prefix ^ n ^ "." | None -> prefix
+      in
+      (match binder with
+      | Some id -> ITbl.replace ctx.mods id (MLocal sub_prefix)
+      | None -> ());
+      walk_items ctx sub_prefix s.Typedtree.str_items it
+  | Typedtree.Tmod_ident (p, _) -> (
+      match binder with
+      | Some id -> ITbl.replace ctx.mods id (MAlias p)
+      | None -> ())
+  | Typedtree.Tmod_constraint (me', _, _, _) ->
+      walk_module_expr ctx prefix ~binder ~name me' it
+  | _ ->
+      (* functor bodies / applications: walk generically for refs and
+         functor-argument marking, attributed to a module pseudo-def *)
+      with_def ctx
+        (ctx.unit_name ^ "." ^ prefix
+        ^ (match name with Some n -> n | None -> "")
+        ^ "(module)")
+        (fun () -> it.Tast_iterator.module_expr it me)
+
+let index_implementation t ~unit_name ~file (str : Typedtree.structure) =
+  let ctx =
+    {
+      ix = t;
+      unit_name;
+      file;
+      cur_def = unit_name ^ ".(init)";
+      raise_depth = 0;
+      vals = ITbl.create 64;
+      mods = ITbl.create 16;
+    }
+  in
+  let it = iterator ctx in
+  walk_items ctx "" str.Typedtree.str_items it
+
+(* ---- Interfaces: exports + manifests ---- *)
+
+let rec walk_sig_items t ~unit_name ~file ~prefix items =
+  List.iter
+    (fun (item : Typedtree.signature_item) ->
+      match item.Typedtree.sig_desc with
+      | Typedtree.Tsig_value vd ->
+          let pos = vd.Typedtree.val_loc.Location.loc_start in
+          t.exports <-
+            {
+              x_id = unit_name ^ "." ^ prefix ^ Ident.name vd.Typedtree.val_id;
+              x_unit = unit_name;
+              x_file = file;
+              x_line = pos.Lexing.pos_lnum;
+            }
+            :: t.exports
+      | Typedtree.Tsig_type (_, tds) ->
+          List.iter
+            (fun (td : Typedtree.type_declaration) ->
+              match (td.Typedtree.typ_manifest, td.Typedtree.typ_params) with
+              | Some core, [] ->
+                  Hashtbl.replace t.manifests
+                    (unit_name ^ "." ^ prefix ^ Ident.name td.Typedtree.typ_id)
+                    core.Typedtree.ctyp_type
+              | _ -> ())
+            tds
+      | Typedtree.Tsig_module md -> (
+          match (md.Typedtree.md_id, md.Typedtree.md_type.Typedtree.mty_desc) with
+          | Some id, Typedtree.Tmty_signature sg ->
+              walk_sig_items t ~unit_name ~file
+                ~prefix:(prefix ^ Ident.name id ^ ".")
+                sg.Typedtree.sig_items
+          | _ -> ())
+      | _ -> ())
+    items
+
+let index_interface t ~unit_name ~file (sg : Typedtree.signature) =
+  walk_sig_items t ~unit_name ~file ~prefix:"" sg.Typedtree.sig_items
+
+(* ---- Loading from .cmt/.cmti trees ---- *)
+
+let repo_file sourcefile =
+  match sourcefile with
+  | None -> None
+  | Some f ->
+      let f =
+        if String.length f > 2 && String.sub f 0 2 = "./" then
+          String.sub f 2 (String.length f - 2)
+        else f
+      in
+      let ok =
+        List.exists
+          (fun d ->
+            String.length f > String.length d
+            && String.sub f 0 (String.length d) = d)
+          [ "lib/"; "bin/"; "bench/"; "examples/"; "tools/"; "test/" ]
+      in
+      if ok then Some f else None
+
+let rec collect_cmt_files acc path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             if entry = ".git" then acc
+             else collect_cmt_files acc (Filename.concat path entry))
+           acc
+  | false ->
+      if Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
+      then path :: acc
+      else acc
+
+type loaded = {
+  l_unit : string;
+  l_file : string;
+  l_annots : Cmt_format.binary_annots;
+}
+
+let load ~dirs =
+  let t = create () in
+  let files = List.fold_left collect_cmt_files [] dirs in
+  let seen = Hashtbl.create 128 in
+  let loaded =
+    List.filter_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception _ -> None
+        | cmt -> (
+            match repo_file cmt.Cmt_format.cmt_sourcefile with
+            | None -> None
+            | Some f ->
+                let kind =
+                  match cmt.Cmt_format.cmt_annots with
+                  | Cmt_format.Implementation _ -> "impl"
+                  | Cmt_format.Interface _ -> "intf"
+                  | _ -> "other"
+                in
+                let key = (kind, cmt.Cmt_format.cmt_modname) in
+                if kind = "other" || Hashtbl.mem seen key then None
+                else begin
+                  Hashtbl.replace seen key ();
+                  Some
+                    {
+                      l_unit = cmt.Cmt_format.cmt_modname;
+                      l_file = f;
+                      l_annots = cmt.Cmt_format.cmt_annots;
+                    }
+                end))
+      files
+  in
+  (* phase 1: all unit names must be known before any path normalises *)
+  List.iter
+    (fun l ->
+      Hashtbl.replace t.known_units l.l_unit ();
+      match l.l_annots with
+      | Cmt_format.Implementation _ ->
+          Hashtbl.replace t.unit_files l.l_unit l.l_file
+      | _ -> ())
+    loaded;
+  (* phase 2: interfaces first, so type manifests from .mli files are
+     available when implementations classify compare operands *)
+  List.iter
+    (fun l ->
+      match l.l_annots with
+      | Cmt_format.Interface sg ->
+          index_interface t ~unit_name:l.l_unit ~file:l.l_file sg
+      | _ -> ())
+    loaded;
+  List.iter
+    (fun l ->
+      match l.l_annots with
+      | Cmt_format.Implementation str ->
+          index_implementation t ~unit_name:l.l_unit ~file:l.l_file str
+      | _ -> ())
+    loaded;
+  t
+
+(* ---- In-process typing, for fixtures and tests ---- *)
+
+let typing_ready = ref false
+
+let ensure_typing () =
+  if not !typing_ready then begin
+    Compmisc.init_path ();
+    typing_ready := true
+  end
+
+let add_typed_source t ~unit_name ~file ~source =
+  ensure_typing ();
+  Hashtbl.replace t.known_units unit_name ();
+  Hashtbl.replace t.unit_files unit_name file;
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Location.init lexbuf file;
+  let parsed = Parse.implementation lexbuf in
+  let str, _, _, _, _ = Typemod.type_structure env parsed in
+  index_implementation t ~unit_name ~file str
+
+let add_typed_interface t ~unit_name ~file ~source =
+  ensure_typing ();
+  Hashtbl.replace t.known_units unit_name ();
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Location.init lexbuf file;
+  let parsed = Parse.interface lexbuf in
+  let sg = Typemod.type_interface env parsed in
+  index_interface t ~unit_name ~file sg

@@ -81,9 +81,17 @@ let parse_error_finding ~path exn =
           Format.asprintf "%t" err.Location.main.Location.txt )
     | _ -> (1, 0, Printexc.to_string exn)
   in
-  { F.rule = "parse-error"; severity = F.Error; file = path; line; col; message }
+  {
+    F.rule = "parse-error";
+    severity = F.Error;
+    file = path;
+    line;
+    col;
+    message;
+    symbol = "";
+  }
 
-let lint_source ?(extra = []) ~path ~source () =
+let lint_source ?(disable = []) ?(extra = []) ~path ~source () =
   let directives = parse_directives source in
   let ast_findings =
     let lexbuf = Lexing.from_string source in
@@ -93,9 +101,20 @@ let lint_source ?(extra = []) ~path ~source () =
     | str -> Lint_rules.check_structure ~path str
     | exception exn -> [ parse_error_finding ~path exn ]
   in
+  let ast_findings =
+    if disable = [] then ast_findings
+    else List.filter (fun f -> not (List.mem f.F.rule disable)) ast_findings
+  in
   List.partition
     (fun f -> not (suppressed directives f))
     (ast_findings @ extra)
+
+(* Findings the deep tier attaches to an interface file (dead-export):
+   there is no AST pass for .mli sources, but the suppression directives
+   still apply. *)
+let partition_mli_findings ~source findings =
+  let directives = parse_directives source in
+  List.partition (fun f -> not (suppressed directives f)) findings
 
 (* ---- Tree walking ---- *)
 
@@ -121,10 +140,58 @@ let rec collect_files acc path =
 type result = {
   kept : F.t list;  (** unsuppressed findings, sorted by location *)
   suppressed_count : int;
+  baselined_count : int;
   files_linted : int;
+  deep_units : int;  (** cmt units indexed; 0 on a syntactic-only run *)
 }
 
-let lint_paths paths =
+type deep_options = {
+  cmt_dirs : string list;
+  baseline_file : string option;
+  dead_export : bool;
+}
+
+(* Build the per-file map of deep findings for the walked file set.
+   Deep findings on files outside the walk (e.g. test/ when linting
+   lib bin) are dropped: the walk defines the lint scope. *)
+let deep_findings_by_file ~deep ~walked =
+  match deep with
+  | None -> (Hashtbl.create 1, 0, 0, fun _ -> false)
+  | Some d ->
+      let ix = Lint_cmt_index.load ~dirs:d.cmt_dirs in
+      if Lint_cmt_index.unit_count ix = 0 then begin
+        prerr_endline
+          "planck-lint: warning: --deep found no .cmt artifacts (build \
+           first, or pass --cmt-dir); falling back to the syntactic tier";
+        (Hashtbl.create 1, 0, 0, fun _ -> false)
+      end
+      else begin
+        let dr = Lint_deep_rules.prepare ix in
+        let findings = Lint_deep_rules.findings ~dead_export:d.dead_export dr in
+        let entries =
+          match d.baseline_file with
+          | None -> []
+          | Some p when not (Sys.file_exists p) -> []
+          | Some p -> (
+              match Lint_deep_rules.load_baseline p with
+              | Ok e -> e
+              | Error e -> failwith ("baseline: " ^ e))
+        in
+        let kept, baselined = Lint_deep_rules.apply_baseline entries findings in
+        let by_file = Hashtbl.create 64 in
+        List.iter
+          (fun (f : F.t) ->
+            if Hashtbl.mem walked f.F.file then
+              Hashtbl.replace by_file f.F.file
+                (f :: Option.value (Hashtbl.find_opt by_file f.F.file) ~default:[]))
+          kept;
+        ( by_file,
+          List.length baselined,
+          Lint_cmt_index.unit_count ix,
+          Lint_cmt_index.has_file ix )
+      end
+
+let lint_paths ?deep paths =
   let files =
     List.fold_left collect_files [] paths |> List.sort_uniq String.compare
   in
@@ -132,16 +199,34 @@ let lint_paths paths =
   List.iter
     (fun f -> if Filename.check_suffix f ".mli" then Hashtbl.replace mli_set f ())
     files;
+  let walked = Hashtbl.create 256 in
+  List.iter (fun f -> Hashtbl.replace walked f ()) files;
+  let deep_by_file, baselined_count, deep_units, covered =
+    deep_findings_by_file ~deep ~walked
+  in
   let kept = ref [] and suppressed_count = ref 0 and files_linted = ref 0 in
   List.iter
     (fun path ->
+      let deep_extra =
+        Option.value (Hashtbl.find_opt deep_by_file path) ~default:[]
+      in
       if Filename.check_suffix path ".ml" then begin
         incr files_linted;
         let source = read_file path in
         let extra =
           Lint_rules.missing_mli ~path ~has_mli:(Hashtbl.mem mli_set (path ^ "i"))
+          @ deep_extra
         in
-        let keep, drop = lint_source ~extra ~path ~source () in
+        let disable = if covered path then Lint_rules.deep_replaced else [] in
+        let keep, drop = lint_source ~disable ~extra ~path ~source () in
+        kept := keep @ !kept;
+        suppressed_count := !suppressed_count + List.length drop
+      end
+      else if deep_extra <> [] then begin
+        (* .mli file carrying deep findings (dead-export): apply its
+           suppression directives, no AST pass *)
+        let source = read_file path in
+        let keep, drop = partition_mli_findings ~source deep_extra in
         kept := keep @ !kept;
         suppressed_count := !suppressed_count + List.length drop
       end)
@@ -149,5 +234,7 @@ let lint_paths paths =
   {
     kept = List.sort F.compare_by_location !kept;
     suppressed_count = !suppressed_count;
+    baselined_count;
     files_linted = !files_linted;
+    deep_units;
   }

@@ -1,6 +1,7 @@
 (** Parsing, suppression handling, and the file-tree driver. *)
 
 val lint_source :
+  ?disable:string list ->
   ?extra:Lint_finding.t list ->
   path:string ->
   source:string ->
@@ -11,18 +12,45 @@ val lint_source :
     [(* planck-lint: allow ... *)] directives, and those the directives
     removed. An [allow] directive covers its own line and the line
     below; [allow-file] covers the whole file. [extra] merges file-level
-    findings (e.g. missing-mli) into the same suppression pass. [path]
-    is repo-relative and drives rule scoping; the file need not exist
-    on disk. *)
+    findings (e.g. missing-mli, deep-tier findings) into the same
+    suppression pass; [disable] drops AST findings by rule id before
+    partitioning (used to switch off [Lint_rules.deep_replaced] on
+    deep-covered files). [path] is repo-relative and drives rule
+    scoping; the file need not exist on disk. *)
+
+val partition_mli_findings :
+  source:string ->
+  Lint_finding.t list ->
+  Lint_finding.t list * Lint_finding.t list
+(** Apply an [.mli] file's suppression directives to deep findings
+    attached to it (dead-export); no AST pass is run. *)
 
 type result = {
   kept : Lint_finding.t list;  (** unsuppressed, sorted by location *)
   suppressed_count : int;
+  baselined_count : int;  (** deep findings absorbed by the baseline *)
   files_linted : int;
+  deep_units : int;  (** cmt units indexed; 0 on a syntactic-only run *)
 }
 
-val lint_paths : string list -> result
+type deep_options = {
+  cmt_dirs : string list;  (** roots scanned recursively for .cmt/.cmti *)
+  baseline_file : string option;
+      (** optional [<rule> <symbol> -- justification] baseline; a
+          missing file is treated as empty, a malformed one fails *)
+  dead_export : bool;
+      (** run the dead-export analysis — requires the cmt set to cover
+          every referencing unit, or absences fabricate dead exports *)
+}
+
+val lint_paths : ?deep:deep_options -> string list -> result
 (** Walk files and directories (recursively; [_build] and dotfiles are
     skipped), lint every [.ml], and apply the missing-mli rule using the
     sibling [.mli] set. Paths are reported as given, so run from the
-    repo root with [lib bin bench examples]. *)
+    repo root with [lib bin bench examples]. With [deep], the cmt index
+    is loaded first: files it covers lose the [Lint_rules.deep_replaced]
+    syntactic rules and gain the deep findings instead (inline
+    suppressions apply to both tiers); files without a cmt keep the
+    full syntactic tier. Deep findings on files outside the walked set
+    are dropped. If no cmt artifacts are found the run degrades to
+    syntactic with a warning on stderr. *)

@@ -7,9 +7,13 @@ type t = {
   line : int;
   col : int;
   message : string;
+  symbol : string;
 }
 
 let severity_label = function Error -> "error" | Warning -> "warning"
+
+let v ?(symbol = "") ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message; symbol }
 
 let compare_by_location a b =
   match String.compare a.file b.file with

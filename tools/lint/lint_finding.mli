@@ -9,7 +9,24 @@ type t = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler locations *)
   message : string;
+  symbol : string;
+      (** Stable location-independent key for deep-tier findings (the
+          qualified definition or export the finding is about, e.g.
+          ["Planck_util__Ring.capacity"]); [""] for syntactic findings.
+          Baseline entries match on [(rule, symbol)] so they survive
+          line-number churn. *)
 }
+
+val v :
+  ?symbol:string ->
+  rule:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+(** Constructor; [symbol] defaults to [""]. *)
 
 val severity_label : severity -> string
 (** ["error"] or ["warning"]. *)

@@ -29,20 +29,72 @@ let text_of ~findings ~suppressed ~files =
 
 (* ---- JSON ---- *)
 
+(* How many continuation bytes a UTF-8 lead byte announces, or -1 for
+   an invalid lead (continuation byte out of place, 0xFE/0xFF, or the
+   overlong/out-of-range leads). *)
+let utf8_follow b =
+  if b < 0x80 then 0
+  else if b < 0xC2 then -1 (* continuation or overlong C0/C1 *)
+  else if b < 0xE0 then 1
+  else if b < 0xF0 then 2
+  else if b < 0xF5 then 3
+  else -1
+
+let is_cont b = b land 0xC0 = 0x80
+
+(* Escape a byte string into valid JSON that is itself valid UTF-8.
+   Control characters use the short escapes / \u00XX; well-formed UTF-8
+   multibyte sequences pass through verbatim (so the output round-trips
+   byte-for-byte through a JSON parser); bytes that are NOT part of a
+   well-formed sequence are sanitised as \u00XX — a Latin-1 reading of
+   the raw byte, lossy but never invalid output. *)
 let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let buf = Buffer.create (n + 8) in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let b = Char.code c in
+    (match c with
+    | '"' -> Buffer.add_string buf "\\\""; incr i
+    | '\\' -> Buffer.add_string buf "\\\\"; incr i
+    | '\n' -> Buffer.add_string buf "\\n"; incr i
+    | '\t' -> Buffer.add_string buf "\\t"; incr i
+    | '\r' -> Buffer.add_string buf "\\r"; incr i
+    | _ when b < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" b);
+        incr i
+    | _ when b < 0x80 -> Buffer.add_char buf c; incr i
+    | _ ->
+        let follow = utf8_follow b in
+        let ok =
+          follow > 0
+          && !i + follow < n
+          && (let valid = ref true in
+              for k = 1 to follow do
+                if not (is_cont (Char.code s.[!i + k])) then valid := false
+              done;
+              (* reject overlong E0 and out-of-range F4 forms *)
+              (if !valid && b = 0xE0 then
+                 valid := Char.code s.[!i + 1] >= 0xA0);
+              (if !valid && b = 0xED then
+                 (* UTF-16 surrogate range is not scalar *)
+                 valid := Char.code s.[!i + 1] < 0xA0);
+              (if !valid && b = 0xF0 then
+                 valid := Char.code s.[!i + 1] >= 0x90);
+              (if !valid && b = 0xF4 then
+                 valid := Char.code s.[!i + 1] < 0x90);
+              !valid)
+        in
+        if ok then begin
+          Buffer.add_substring buf s !i (follow + 1);
+          i := !i + follow + 1
+        end
+        else begin
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" b);
+          incr i
+        end)
+  done;
   Buffer.contents buf
 
 let json_of ~findings ~suppressed ~files =
@@ -53,10 +105,11 @@ let json_of ~findings ~suppressed ~files =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+           "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"symbol\":\"%s\"}"
            (escape f.F.rule)
            (F.severity_label f.F.severity)
-           (escape f.F.file) f.F.line f.F.col (escape f.F.message)))
+           (escape f.F.file) f.F.line f.F.col (escape f.F.message)
+           (escape f.F.symbol)))
     findings;
   Buffer.add_string buf
     (Printf.sprintf "],\"files\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}"

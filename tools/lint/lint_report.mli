@@ -8,8 +8,11 @@ val text_of :
 val json_of :
   findings:Lint_finding.t list -> suppressed:int -> files:int -> string
 (** Machine-readable report:
-    [{"version":1,"findings":[{rule,severity,file,line,col,message}...],
-      "files":n,"errors":n,"warnings":n,"suppressed":n}]. *)
+    [{"version":1,"findings":[{rule,severity,file,line,col,message,
+      symbol}...],"files":n,"errors":n,"warnings":n,"suppressed":n}].
+    Strings are escaped to valid UTF-8 JSON: control characters as
+    [\u00XX], well-formed multibyte UTF-8 verbatim (byte-for-byte
+    round-trip), malformed bytes sanitised as [\u00XX]. *)
 
 val rules_text : unit -> string
 (** Human-readable rule catalog for [--list-rules]. *)

@@ -126,6 +126,38 @@ let catalog =
       default_severity = F.Error;
       doc = "The file does not parse; all other rules are moot until it does.";
     };
+    {
+      id = "determinism-taint";
+      group = "determinism";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a wall-clock / ambient-random / \
+         hashtbl-iteration-order value flows (interprocedurally, along \
+         the call graph) into sim-visible state — journal or time-series \
+         payloads, engine scheduling, or a routing/TE decision. The \
+         finding cites the witness chain; derive the value from \
+         Engine.now or a seeded Planck_util.Prng instead.";
+    };
+    {
+      id = "dead-export";
+      group = "hygiene";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a value exported by a lib/ .mli is never \
+         referenced outside its own module. Delete the export (and the \
+         binding, if nothing else uses it) or baseline it with a \
+         one-line justification.";
+    };
+  ]
+
+(* Syntactic rules the deep tier replaces: when a file is covered by
+   the cmt index, these are switched off for that file (reachability
+   and instantiated types subsume the filename/shadow heuristics); any
+   file without a cmt keeps the full syntactic tier as the fallback. *)
+let deep_replaced =
+  [
+    "poly-compare"; "float-equality"; "hot-alloc"; "hot-schedule";
+    "wall-clock"; "ambient-random"; "hashtbl-iteration";
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) catalog
@@ -208,6 +240,7 @@ let report ctx ~loc ~rule message =
       line = pos.Lexing.pos_lnum;
       col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
       message;
+      symbol = "";
     }
     :: ctx.findings
 
@@ -505,6 +538,7 @@ let missing_mli ~path ~has_mli =
           Printf.sprintf "%s has no interface; add %si so the public \
                           surface is explicit"
             (Filename.basename path) (Filename.basename path);
+        symbol = "";
       };
     ]
   else []

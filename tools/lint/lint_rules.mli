@@ -21,6 +21,12 @@ val find : string -> rule option
 val is_known : string -> bool
 (** True for catalog ids and the ["all"] wildcard used in suppressions. *)
 
+val deep_replaced : string list
+(** Syntactic rule ids the deep tier subsumes: for files covered by the
+    cmt index these are disabled in the AST pass (reachability and
+    instantiated types replace the filename/shadow heuristics); files
+    without a cmt keep the full syntactic tier as the fallback path. *)
+
 val check_structure : path:string -> Parsetree.structure -> Lint_finding.t list
 (** Run every AST rule over one parsed implementation. [path] is the
     repo-relative path and drives rule scoping ([lib/] vs [bin/],
