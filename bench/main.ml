@@ -43,6 +43,10 @@ let experiments : (string * string * (Exp_common.opts -> unit)) list =
     ( "ablations",
       "design-choice ablations (arbitration, buffers, estimator, TE)",
       Exp_ablations.run );
+    ( "bounded-state",
+      "sketch tier vs exact flow table: state at 1M flows, accuracy, TE \
+       agreement",
+      Exp_bounded_state.run );
   ]
 
 let run_selected names opts with_micro =

@@ -18,6 +18,10 @@ module Engine = Planck_netsim.Engine
 module Switch = Planck_netsim.Switch
 module Metrics = Planck_telemetry.Metrics
 module Journal = Planck_telemetry.Journal
+module FK = Planck_packet.Flow_key
+module Flow_table = Planck_collector.Flow_table
+module Count_min = Planck_sketch.Count_min
+module Tiered = Planck_sketch.Tiered_table
 
 let sample_packet =
   P.tcp ~src_mac:(Mac.host 1) ~dst_mac:(Mac.host 2) ~src_ip:(Ip.host 1)
@@ -252,6 +256,66 @@ let test_journal_enabled =
              (Journal.Packet_drop
                 { switch = "bench"; port = 0; mirror = false })))
 
+(* ---- sketch tier vs exact flow table (bounded-state collector) ----
+
+   The same 64k-key stream through the count-min sketch, the tiered
+   sample path (tick + lookup miss + conservative update), and the
+   exact table's touch — the per-sample costs the ISSUE's 2x bound is
+   about. *)
+
+let sketch_keys =
+  Array.init 65_536 (fun i ->
+      {
+        FK.src_ip = Ip.of_int (0x0a00_0000 lor i);
+        dst_ip = Ip.of_int (0x0b00_0000 lor (i lsr 4));
+        src_port = 1_024 + (i land 0x3FFF);
+        dst_port = 80;
+        protocol = 6;
+      })
+
+let next_key =
+  let i = ref 0 in
+  fun () ->
+    i := (!i + 1) land 0xFFFF;
+    Array.unsafe_get sketch_keys !i
+
+let test_cms_update =
+  let cms = Count_min.create () in
+  Test.make ~name:"cms conservative update (sketch tier)"
+    (Staged.stage (fun () -> ignore (Count_min.update cms (next_key ()) 1460)))
+
+let test_cms_query =
+  let cms = Count_min.create () in
+  Array.iter (fun key -> ignore (Count_min.update cms key 1460)) sketch_keys;
+  Test.make ~name:"cms query"
+    (Staged.stage (fun () -> ignore (Count_min.query cms (next_key ()))))
+
+let test_tiered_sample =
+  (* An unreachable promotion threshold keeps every key on the
+     sketch-only path: tick + exact-tier miss + conservative update,
+     the cost mice pay per sample. *)
+  let config = { Tiered.default_config with Tiered.promote_bytes = max_int } in
+  let tiered = Tiered.create ~config ~switch:0 ~flow_timeout:(Time_u.s 10) () in
+  let now = ref 0 in
+  Test.make ~name:"tiered sample (mouse, sketch-only path)"
+    (Staged.stage (fun () ->
+         now := !now + 1_000;
+         Tiered.tick tiered ~now:!now;
+         ignore
+           (Tiered.sample tiered ~key:(next_key ()) ~now:!now ~bytes:1460
+              ~max_rate:(Rate.gbps 10.0) ~dst_mac:(Mac.host 1))))
+
+let test_flow_table_touch =
+  let table = Flow_table.create ~timeout:(Time_u.s 3600) () in
+  let mac = Mac.host 1 in
+  let now = ref 0 in
+  Test.make ~name:"flow table touch (exact baseline)"
+    (Staged.stage (fun () ->
+         now := !now + 1_000;
+         ignore
+           (Flow_table.touch table ~key:(next_key ()) ~time:!now ~dst_mac:mac
+              ())))
+
 let benchmarks =
   [
     test_serialize;
@@ -275,6 +339,10 @@ let benchmarks =
     engine_timers ~name:"wheel" Wheel.default_config;
     engine_timers ~name:"heap-only" Wheel.heap_only;
     test_switch_forward;
+    test_cms_update;
+    test_cms_query;
+    test_tiered_sample;
+    test_flow_table_touch;
     test_telemetry_disabled;
     test_telemetry_enabled;
     test_journal_disabled;

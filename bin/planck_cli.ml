@@ -122,7 +122,13 @@ let parse_workload = function
   | "random" -> Ok Experiment.Random
   | "staggered" ->
       Ok (Experiment.Staggered_prob { p_edge = 0.2; p_pod = 0.3 })
+  | "churn" -> Ok (Experiment.Churn Planck_workloads.Generate.default_churn)
   | s -> Error (Printf.sprintf "unknown workload %s" s)
+
+let parse_flow_table = function
+  | "exact" -> Ok Scheme.Exact
+  | "tiered" -> Ok Scheme.tiered_default
+  | s -> Error (Printf.sprintf "unknown flow table %s" s)
 
 let parse_scheme = function
   | "static" -> Ok (`Fabric Scheme.Static)
@@ -138,13 +144,18 @@ let parse_scheme = function
   | "optimal" -> Ok `Optimal
   | s -> Error (Printf.sprintf "unknown scheme %s" s)
 
-let run_experiment () workload_name scheme_name size_mib runs seed csv
-    metrics_out trace_out journal_out timeseries_out timeseries_interval_us =
-  match (parse_workload workload_name, parse_scheme scheme_name) with
-  | Error e, _ | _, Error e ->
+let run_experiment () workload_name scheme_name flow_table_name size_mib runs
+    seed csv metrics_out trace_out journal_out timeseries_out
+    timeseries_interval_us =
+  match
+    ( parse_workload workload_name,
+      parse_scheme scheme_name,
+      parse_flow_table flow_table_name )
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
-  | Ok workload, Ok scheme
+  | Ok workload, Ok scheme, Ok flow_table
     when telemetry_setup ?journal_out ?timeseries_out metrics_out trace_out
     ->
       let spec, sch =
@@ -189,7 +200,7 @@ let run_experiment () workload_name scheme_name size_mib runs seed csv
                Some (fun flow -> Recorder.track_flow recorder flow)));
       let summaries =
         Experiment.repeat ~runs ~spec ~scheme:sch ~workload
-          ~size:(size_mib * 1024 * 1024) ~horizon:(Time.s 600) ()
+          ~size:(size_mib * 1024 * 1024) ~flow_table ~horizon:(Time.s 600) ()
       in
       Experiment.set_observer None;
       (match journal_channel with
@@ -230,8 +241,10 @@ let run_experiment () workload_name scheme_name size_mib runs seed csv
       in
       if csv then print_string (Table.csv ~header rows)
       else begin
-        Printf.printf "%s / %s, %d MiB flows, %d run(s):\n" workload_name
-          scheme_name size_mib runs;
+        Printf.printf "%s / %s, %s flow table, %d MiB flows, %d run(s):\n"
+          workload_name scheme_name
+          (Scheme.flow_table_name flow_table)
+          size_mib runs;
         Table.print ~header rows;
         Printf.printf "mean average flow throughput: %.3f Gbps\n"
           (Experiment.mean_avg_goodput summaries)
@@ -504,7 +517,16 @@ let run_cmd =
     Arg.(
       value & opt string "stride8"
       & info [ "workload" ]
-          ~doc:"stride8|stride4|shuffle|bijection|random|staggered")
+          ~doc:"stride8|stride4|shuffle|bijection|random|staggered|churn")
+  in
+  let flow_table =
+    Arg.(
+      value & opt string "exact"
+      & info [ "flow-table" ]
+          ~doc:
+            "Collector flow-state backend: $(b,exact) (the paper's \
+             per-flow table) or $(b,tiered) (count-min sketch with \
+             heavy-hitter promotion, bounded resident state).")
   in
   let scheme =
     Arg.(
@@ -546,8 +568,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload under a routing scheme")
     Term.(
-      const run_experiment $ debug_arg $ workload $ scheme $ size $ runs
-      $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg $ journal_out
+      const run_experiment $ debug_arg $ workload $ scheme $ flow_table $ size
+      $ runs $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg $ journal_out
       $ timeseries_out $ timeseries_interval)
 
 let capture_cmd =

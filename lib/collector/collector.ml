@@ -44,6 +44,32 @@ type congestion = {
   corr : int;
 }
 
+(* The flow-state backend the sample path writes through. [b_table] is
+   the exact tier every query (active flows, link utilization, rates)
+   runs against; [b_sample] admits a data sample and returns the entry
+   to account it to, or [None] when the backend keeps the flow in
+   approximate state only (the sketch tier); [b_tick] is per-sample
+   housekeeping (decay clocks, demotion sweeps) and must be cheap when
+   nothing is due. *)
+type table_backend = {
+  b_table : Flow_table.t;
+  b_sample :
+    key:Flow_key.t ->
+    now:Time.t ->
+    bytes:int ->
+    max_rate:Rate.t ->
+    dst_mac:Mac.t ->
+    Flow_table.entry option;
+  b_tick : now:Time.t -> unit;
+}
+
+(* A factory rather than a shared backend value: one collector config is
+   reused across every monitored switch (Controller.create), and each
+   switch needs its own state. *)
+type table_kind =
+  | Exact
+  | Custom_backend of (switch:int -> flow_timeout:Time.t -> table_backend)
+
 type config = {
   min_gap : Time.t;
   max_burst : Time.t;
@@ -52,6 +78,7 @@ type config = {
   vantage_capacity : int;
   ring_capacity : int;
   poll_interval : Time.t;
+  table : table_kind;
 }
 
 let default_config =
@@ -63,6 +90,17 @@ let default_config =
     vantage_capacity = 8192;
     ring_capacity = 2048;
     poll_interval = Time.us 25;
+    table = Exact;
+  }
+
+let exact_backend ~flow_timeout =
+  let flows = Flow_table.create ~timeout:flow_timeout () in
+  {
+    b_table = flows;
+    b_sample =
+      (fun ~key ~now ~bytes:_ ~max_rate ~dst_mac ->
+        Some (Flow_table.touch flows ~key ~time:now ~max_rate ~dst_mac ()));
+    b_tick = (fun ~now:_ -> ());
   }
 
 type subscription = { threshold : float; callback : congestion -> unit }
@@ -73,7 +111,8 @@ type t = {
   routing : Routing.t;
   link_rate : Rate.t;
   config : config;
-  flows : Flow_table.t;
+  backend : table_backend;
+  flows : Flow_table.t;  (* = backend.b_table; the query surface *)
   mutable sink : Sink.t option;
   (* (src ip, routing dst MAC) -> (in_port, out_port) at this switch;
      trees are static so entries never go stale. *)
@@ -96,18 +135,29 @@ type t = {
   tel_estimates : Metrics.counter;
   tel_congestion_events : Metrics.counter;
   tel_poll_latency : Metrics.histogram;
+  tel_flow_entries : Metrics.gauge;
+  tel_evictions : Metrics.counter;
 }
 
 let create engine ~switch ~routing ~link_rate ?(config = default_config) () =
   let tel_label = Printf.sprintf "s%d" switch in
   let tel name = Metrics.counter ~subsystem:"collector" ~name ~label:tel_label () in
+  let backend =
+    match config.table with
+    | Exact -> exact_backend ~flow_timeout:config.flow_timeout
+    | Custom_backend make -> make ~switch ~flow_timeout:config.flow_timeout
+  in
+  let tel_evictions = tel "flow_table_evictions" in
+  Flow_table.add_on_expire backend.b_table (fun ~now:_ _entry ->
+      Metrics.Counter.incr tel_evictions);
   {
     engine;
     switch;
     routing;
     link_rate;
     config;
-    flows = Flow_table.create ~timeout:config.flow_timeout ();
+    backend;
+    flows = backend.b_table;
     sink = None;
     port_cache = Hashtbl.create 256;
     vantage = Ring.create ~capacity:config.vantage_capacity;
@@ -127,6 +177,10 @@ let create engine ~switch ~routing ~link_rate ?(config = default_config) () =
     tel_poll_latency =
       Metrics.histogram ~subsystem:"collector" ~name:"poll_latency_ns"
         ~label:tel_label ();
+    tel_flow_entries =
+      Metrics.gauge ~subsystem:"collector" ~name:"flow_table_entries"
+        ~label:tel_label ();
+    tel_evictions;
   }
 
 let switch_id t = t.switch
@@ -279,15 +333,21 @@ let process t (record : Sink.record) =
           | None -> ())
       | Some _ | None -> ());
       (match (key, seq32) with
-      | Some key, Some seq32 when payload > 0 ->
+      | Some key, Some seq32 when payload > 0 -> (
           t.data_samples <- t.data_samples + 1;
           Metrics.Counter.incr t.tel_data_samples;
-          let entry =
-            Flow_table.touch t.flows ~key ~time:record.Sink.rx
+          t.backend.b_tick ~now:record.Sink.rx;
+          match
+            t.backend.b_sample ~key ~now:record.Sink.rx ~bytes:payload
               ~max_rate:t.link_rate
               ~dst_mac:(Packet.dst_mac packet)
-              ()
-          in
+          with
+          | None ->
+              (* Sketch tier only: the sample is accounted approximately
+                 and the flow has no exact entry (yet). *)
+              Metrics.Gauge.set_int t.tel_flow_entries
+                (Flow_table.size t.flows)
+          | Some entry ->
           entry.Flow_table.in_port <- in_port;
           entry.Flow_table.out_port <- out_port;
           entry.Flow_table.sampled_packets <-
@@ -295,6 +355,7 @@ let process t (record : Sink.record) =
           entry.Flow_table.sampled_bytes <-
             entry.Flow_table.sampled_bytes + payload;
           Flow_table.note_seq entry ~seq32 ~payload;
+          Metrics.Gauge.set_int t.tel_flow_entries (Flow_table.size t.flows);
           (match
              Rate_estimator.update entry.Flow_table.estimator
                ~time:record.Sink.rx ~seq32
@@ -314,7 +375,7 @@ let process t (record : Sink.record) =
                 (fun hook -> hook key rate record.Sink.rx)
                 t.estimate_hooks;
               check_congestion t ~port:out_port
-          | None -> ())
+          | None -> ()))
       | _ -> ());
       if t.taps <> [] then begin
         let sample =

@@ -55,6 +55,36 @@ type congestion = {
           (notify, decide, install, effective) carries it *)
 }
 
+(** The flow-state backend the sample path writes through (§3.2.2, and
+    the bounded-state extension). [b_table] is the exact tier every
+    query answers from. [b_sample] admits one data sample: it returns
+    the entry to account the sample to, or [None] when the backend
+    keeps the flow in approximate state only (a sketch tier that has
+    not promoted it). [b_tick] runs before each sample for housekeeping
+    (decay clocks, demotion sweeps) and must be cheap when idle. *)
+type table_backend = {
+  b_table : Flow_table.t;
+  b_sample :
+    key:Planck_packet.Flow_key.t ->
+    now:Planck_util.Time.t ->
+    bytes:int ->
+    max_rate:Planck_util.Rate.t ->
+    dst_mac:Planck_packet.Mac.t ->
+    Flow_table.entry option;
+  b_tick : now:Planck_util.Time.t -> unit;
+}
+
+(** How the collector keeps per-flow state. [Exact] is the paper's
+    one-entry-per-sampled-5-tuple table. [Custom_backend] receives the
+    monitored switch id and the configured flow timeout and builds the
+    backend — a factory because one config is shared across every
+    monitored switch ({!Planck_controller} creates many collectors from
+    a single config) and each needs its own state. *)
+type table_kind =
+  | Exact
+  | Custom_backend of
+      (switch:int -> flow_timeout:Planck_util.Time.t -> table_backend)
+
 type config = {
   min_gap : Planck_util.Time.t;  (** burst separator, 200 µs *)
   max_burst : Planck_util.Time.t;  (** forced estimate period, 700 µs *)
@@ -64,6 +94,7 @@ type config = {
   vantage_capacity : int;  (** samples retained for pcap dumps *)
   ring_capacity : int;
   poll_interval : Planck_util.Time.t;  (** netmap batch timer *)
+  table : table_kind;  (** flow-state backend; default [Exact] *)
 }
 
 val default_config : config

@@ -18,10 +18,16 @@ type entry = {
   mutable seq_hi : int;
 }
 
-type t = { entries : entry Flow_key.Table.t; timeout : Time.t }
+type t = {
+  entries : entry Flow_key.Table.t;
+  timeout : Time.t;
+  mutable on_expire : (now:Time.t -> entry -> unit) list;
+}
 
 let create ?(timeout = Time.ms 10) () =
-  { entries = Flow_key.Table.create 64; timeout }
+  { entries = Flow_key.Table.create 64; timeout; on_expire = [] }
+
+let add_on_expire t f = t.on_expire <- t.on_expire @ [ f ]
 
 let touch t ~key ~time ?max_rate ~dst_mac () =
   match Flow_key.Table.find_opt t.entries key with
@@ -50,18 +56,37 @@ let touch t ~key ~time ?max_rate ~dst_mac () =
 
 let find t key = Flow_key.Table.find_opt t.entries key
 
+let expire t ~now dead =
+  List.iter
+    (fun entry ->
+      Flow_key.Table.remove t.entries entry.key;
+      List.iter (fun f -> f ~now entry) t.on_expire)
+    dead
+
 let active t ~now =
   let live = ref [] and dead = ref [] in
   (* Sorted so the surviving-entry list (and everything downstream: the
-     congestion event's flow list, TE tie-breaks) is independent of
-     hash-bucket layout. *)
+     congestion event's flow list, TE tie-breaks, expiry callbacks) is
+     independent of hash-bucket layout. *)
   Flow_key.Table.iter_sorted
-    (fun key entry ->
+    (fun _key entry ->
       if now - entry.last_seen <= t.timeout then live := entry :: !live
-      else dead := key :: !dead)
+      else dead := entry :: !dead)
     t.entries;
-  List.iter (Flow_key.Table.remove t.entries) !dead;
+  expire t ~now (List.rev !dead);
   !live
+
+let sweep t ~now =
+  let dead = ref [] and n = ref 0 in
+  Flow_key.Table.iter_sorted
+    (fun _key entry ->
+      if now - entry.last_seen > t.timeout then begin
+        dead := entry :: !dead;
+        incr n
+      end)
+    t.entries;
+  expire t ~now (List.rev !dead);
+  !n
 
 let active_on_port t ~now ~out_port =
   List.filter (fun entry -> entry.out_port = out_port) (active t ~now)

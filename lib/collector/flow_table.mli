@@ -40,7 +40,21 @@ val touch :
 val find : t -> Planck_packet.Flow_key.t -> entry option
 
 val active : t -> now:Planck_util.Time.t -> entry list
-(** Entries seen within the timeout, expiring the rest. *)
+(** Entries seen within the timeout, expiring the rest (expiry
+    callbacks fire, in ascending key order). *)
+
+val sweep : t -> now:Planck_util.Time.t -> int
+(** Expire every entry idle longer than the timeout without building
+    the live list; returns the number evicted. After a sweep, {!size}
+    counts live entries only — the occupancy number the telemetry
+    gauges and the tiered demotion path want. Expiry callbacks fire in
+    ascending key order. *)
+
+val add_on_expire : t -> (now:Planck_util.Time.t -> entry -> unit) -> unit
+(** Observe evictions (from {!active} and {!sweep} both). Callbacks run
+    after the entry is removed, in registration order; used by the
+    collector's eviction counter and the sketch tier's demotion
+    fold-back. *)
 
 val active_on_port : t -> now:Planck_util.Time.t -> out_port:int -> entry list
 
@@ -56,3 +70,5 @@ val sampling_fraction : entry -> float option
     completeness (§6.1). [None] until two data samples exist. *)
 
 val size : t -> int
+(** Resident entry count. Expiry is lazy, so this includes idle entries
+    until {!active} or {!sweep} evicts them. *)

@@ -13,6 +13,7 @@ type workload =
   | Random_bijection
   | Random
   | Staggered_prob of { p_edge : float; p_pod : float }
+  | Churn of Generate.churn_spec
 
 let workload_name = function
   | Stride k -> Printf.sprintf "stride(%d)" k
@@ -20,6 +21,7 @@ let workload_name = function
   | Random_bijection -> "random bijection"
   | Random -> "random"
   | Staggered_prob _ -> "staggered prob"
+  | Churn _ -> "churn"
 
 type summary = {
   workload : workload;
@@ -47,6 +49,7 @@ let pairs_for (testbed : Testbed.t) workload prng =
           (* No pod structure: staggered degenerates to uniform. *)
           Generate.random_uniform prng ~hosts)
   | Shuffle _ -> invalid_arg "Experiment.pairs_for: shuffle is not pair-based"
+  | Churn _ -> invalid_arg "Experiment.pairs_for: churn is not pair-based"
 
 (* Observability hook: the CLI and bench install an observer (e.g. one
    that builds a Recorder on the fresh testbed) because every run
@@ -66,14 +69,15 @@ let phase_marker testbed name detail =
       ~ts:(Engine.now testbed.Testbed.engine)
       (Journal.Phase_marker { name; detail })
 
-let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
+let run ~spec ~scheme ~workload ~size ?(flow_table = Scheme.Exact) ?horizon
+    ?seed () =
   let spec =
     match seed with
     | None -> spec
     | Some seed -> { spec with Testbed.seed = seed }
   in
   let testbed = Testbed.create spec in
-  let deployed = Scheme.deploy testbed scheme in
+  let deployed = Scheme.deploy ~flow_table testbed scheme in
   phase_marker testbed "run_start"
     (Printf.sprintf "%s / %s, %d B flows, seed %d" (workload_name workload)
        (Scheme.name scheme) size spec.Testbed.seed);
@@ -95,6 +99,17 @@ let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
             ~concurrency ~size ?on_flow ?horizon ()
         in
         (result.Runner.flows, Some result.Runner.host_done)
+    | Churn churn_spec ->
+        (* flow sizes come from the churn spec; [size] is unused *)
+        let arrivals =
+          Generate.churn wl_prng
+            ~hosts:(Testbed.host_count testbed)
+            ~spec:churn_spec
+        in
+        ( Runner.run_churn testbed.Testbed.engine
+            ~endpoints:testbed.Testbed.endpoints ~arrivals ?on_flow ?horizon
+            (),
+          None )
     | Stride _ | Random_bijection | Random | Staggered_prob _ ->
         let pairs = pairs_for testbed workload wl_prng in
         ( Runner.run_pairs testbed.Testbed.engine
@@ -119,9 +134,9 @@ let run ~spec ~scheme ~workload ~size ?horizon ?seed () =
        summary.avg_goodput_gbps summary.reroutes summary.all_completed);
   summary
 
-let repeat ~runs ~spec ~scheme ~workload ~size ?horizon () =
+let repeat ~runs ~spec ~scheme ~workload ~size ?flow_table ?horizon () =
   List.init runs (fun i ->
-      run ~spec ~scheme ~workload ~size ?horizon
+      run ~spec ~scheme ~workload ~size ?flow_table ?horizon
         ~seed:(spec.Testbed.seed + i) ())
 
 let mean_avg_goodput summaries =

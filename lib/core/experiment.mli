@@ -8,6 +8,10 @@ type workload =
   | Random_bijection
   | Random
   | Staggered_prob of { p_edge : float; p_pod : float }
+  | Churn of Planck_workloads.Generate.churn_spec
+      (** Poisson flow arrivals (mice plus periodic elephants); flow
+          sizes come from the spec, so [size] is ignored. The
+          bounded-state stressor. *)
 
 val workload_name : workload -> string
 
@@ -37,12 +41,15 @@ val run :
   scheme:Scheme.t ->
   workload:workload ->
   size:int ->
+  ?flow_table:Scheme.flow_table ->
   ?horizon:Planck_util.Time.t ->
   ?seed:int ->
   unit ->
   summary
 (** One run: a fresh testbed per call, so runs are independent.
-    [seed] overrides the spec's seed (vary it across repetitions). *)
+    [seed] overrides the spec's seed (vary it across repetitions).
+    [flow_table] (default [Exact]) selects the collector's flow-state
+    backend; see {!Scheme.deploy}. *)
 
 val repeat :
   runs:int ->
@@ -50,6 +57,7 @@ val repeat :
   scheme:Scheme.t ->
   workload:workload ->
   size:int ->
+  ?flow_table:Scheme.flow_table ->
   ?horizon:Planck_util.Time.t ->
   unit ->
   summary list

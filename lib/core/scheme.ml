@@ -5,6 +5,23 @@ module Controller = Planck_controller.Controller
 module Poller = Planck_baselines.Poller
 module Sflow_te_impl = Planck_baselines.Sflow_te
 module Control_channel = Planck_openflow.Control_channel
+module Collector_impl = Planck_collector.Collector
+module Tiered_table = Planck_sketch.Tiered_table
+
+type flow_table = Exact | Tiered of Tiered_table.config
+
+let tiered_default = Tiered Tiered_table.default_config
+
+let flow_table_name = function Exact -> "exact" | Tiered _ -> "tiered"
+
+let collector_config_of_flow_table = function
+  | Exact -> None
+  | Tiered config ->
+      Some
+        {
+          Collector_impl.default_config with
+          Collector_impl.table = Tiered_table.table_kind ~config ();
+        }
 
 type t =
   | Static
@@ -35,7 +52,7 @@ type deployed = {
   sflow_te : Sflow_te_impl.t option;
 }
 
-let deploy (testbed : Testbed.t) scheme =
+let deploy ?(flow_table = Exact) (testbed : Testbed.t) scheme =
   match scheme with
   | Static ->
       { scheme; controller = None; te = None; poller = None; sflow_te = None }
@@ -44,6 +61,7 @@ let deploy (testbed : Testbed.t) scheme =
         Controller.create testbed.Testbed.engine
           ~routing:testbed.Testbed.routing
           ~link_rate:(Testbed.link_rate testbed)
+          ?collector_config:(collector_config_of_flow_table flow_table)
           ~prng:(Prng.split testbed.Testbed.prng)
           ()
       in

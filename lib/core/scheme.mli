@@ -16,6 +16,19 @@ type t =
   | Poll of Planck_baselines.Poller.config
   | Sflow_te of Planck_baselines.Sflow_te.config
 
+(** How Planck collectors keep per-flow state (only [Planck_te]
+    deploys collectors; the other schemes ignore this). [Exact] is the
+    paper's unbounded one-entry-per-flow table; [Tiered] bounds
+    resident state with a count-min sketch plus heavy-hitter promotion
+    ({!Planck_sketch.Tiered_table}). *)
+type flow_table = Exact | Tiered of Planck_sketch.Tiered_table.config
+
+val tiered_default : flow_table
+(** [Tiered Planck_sketch.Tiered_table.default_config]. *)
+
+val flow_table_name : flow_table -> string
+(** ["exact" | "tiered"] — the CLI spelling. *)
+
 val planck_te_default : t
 val poll_1s : t
 val poll_100ms : t
@@ -31,8 +44,10 @@ type deployed = {
   sflow_te : Planck_baselines.Sflow_te.t option;
 }
 
-val deploy : Testbed.t -> t -> deployed
+val deploy : ?flow_table:flow_table -> Testbed.t -> t -> deployed
 (** Set the scheme up on a built testbed (creates collectors, enables
-    mirroring, starts pollers — whatever the scheme needs). *)
+    mirroring, starts pollers — whatever the scheme needs).
+    [flow_table] defaults to [Exact], so existing experiments are
+    byte-for-byte unchanged. *)
 
 val reroutes : deployed -> int

@@ -75,6 +75,51 @@ let pp ppf t =
      (* planck-lint: allow hot-alloc -- same journal-only path *)
      else string_of_int t.protocol)
 
+(* Digit-at-a-time decimal so [to_string] never touches the formatting
+   APIs the hot-path alloc rule bans; ports/octets/protocols are always
+   non-negative. *)
+let add_decimal buf n =
+  if n = 0 then Buffer.add_char buf '0'
+  else begin
+    let rec go n =
+      if n > 0 then begin
+        go (n / 10);
+        Buffer.add_char buf (Char.chr (Char.code '0' + (n mod 10)))
+      end
+    in
+    go n
+  end
+
+let add_ip buf ip =
+  let v = Ipv4_addr.to_int ip in
+  add_decimal buf ((v lsr 24) land 0xFF);
+  Buffer.add_char buf '.';
+  add_decimal buf ((v lsr 16) land 0xFF);
+  Buffer.add_char buf '.';
+  add_decimal buf ((v lsr 8) land 0xFF);
+  Buffer.add_char buf '.';
+  add_decimal buf (v land 0xFF)
+
+(* Same rendering as [pp] ("src:port > dst:port/proto"), built with a
+   Buffer instead of Format so per-packet-reachable journal sites (the
+   sketch tier's promote/demote events) can label flows without a
+   hot-alloc suppression. *)
+let to_string t =
+  let buf = Buffer.create 48 in
+  add_ip buf t.src_ip;
+  Buffer.add_char buf ':';
+  add_decimal buf t.src_port;
+  Buffer.add_string buf " > ";
+  add_ip buf t.dst_ip;
+  Buffer.add_char buf ':';
+  add_decimal buf t.dst_port;
+  Buffer.add_char buf '/';
+  if t.protocol = Headers.Ipv4.protocol_tcp then Buffer.add_string buf "tcp"
+  else if t.protocol = Headers.Ipv4.protocol_udp then
+    Buffer.add_string buf "udp"
+  else add_decimal buf t.protocol;
+  Buffer.contents buf
+
 module Key = struct
   type nonrec t = t
 

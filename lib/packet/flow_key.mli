@@ -22,6 +22,11 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+val to_string : t -> string
+(** The same rendering as {!pp} ("src:port > dst:port/proto"), built
+    without the formatting machinery so per-packet-reachable journal
+    sites can label flows allocation-rule-clean. *)
+
 module Table : sig
   include Hashtbl.S with type key = t
 

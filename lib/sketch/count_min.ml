@@ -1,0 +1,129 @@
+module Prng = Planck_util.Prng
+module Flow_key = Planck_packet.Flow_key
+module Ipv4_addr = Planck_packet.Ipv4_addr
+
+type t = {
+  depth : int;
+  width : int;
+  mask : int;
+  rows : int array array;
+  seeds : int array;
+  idx : int array;  (* per-update scratch: row indices for one key *)
+}
+
+(* 64-bit FNV-1a folded per field (not per byte) for speed, then a
+   per-row xorshift* finalizer over the shared base — the
+   Kirsch–Mitzenmacher construction: one strong base hash, cheap
+   derived row hashes. Constants below the OCaml 62-bit literal
+   ceiling; the top bits the asr-free [land max_int] keeps are enough
+   for table indexing. *)
+let fnv_prime = 0x100000001B3
+let fnv_basis = 0x0BF29CE484222325
+let mix_mult = 0x2545F4914F6CDD1D
+
+let[@inline] fnv_fold h v = (h lxor v) * fnv_prime
+
+let[@inline] base_hash (key : Flow_key.t) =
+  let h = fnv_basis in
+  let h = fnv_fold h (Ipv4_addr.to_int key.src_ip) in
+  let h = fnv_fold h (Ipv4_addr.to_int key.dst_ip) in
+  let h = fnv_fold h key.src_port in
+  let h = fnv_fold h key.dst_port in
+  fnv_fold h key.protocol
+
+let[@inline] finalize seed h =
+  let x = h lxor seed in
+  let x = x lxor (x lsr 33) in
+  let x = x * mix_mult in
+  (x lxor (x lsr 29)) land max_int
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let default_seed = 0x5eed
+let default_depth = 4
+let default_width = 16_384
+
+let create ?(seed = default_seed) ?(depth = default_depth)
+    ?(width = default_width) () =
+  if depth < 1 then invalid_arg "Count_min.create: depth < 1";
+  if width < 1 then invalid_arg "Count_min.create: width < 1";
+  let width = pow2_at_least width 1 in
+  let prng = Prng.create ~seed in
+  let seeds = Array.make depth 0 in
+  (* explicit loop: Array.init evaluation order is unspecified, and the
+     seed sequence must be reproducible *)
+  for i = 0 to depth - 1 do
+    seeds.(i) <- Int64.to_int (Prng.bits64 prng) land max_int
+  done;
+  {
+    depth;
+    width;
+    mask = width - 1;
+    rows = Array.init depth (fun _ -> Array.make width 0);
+    seeds;
+    idx = Array.make depth 0;
+  }
+
+let depth t = t.depth
+let width t = t.width
+
+let row_index t key ~row =
+  if row < 0 || row >= t.depth then invalid_arg "Count_min.row_index";
+  finalize t.seeds.(row) (base_hash key) land t.mask
+
+let update t key bytes =
+  let h = base_hash key in
+  let est = ref max_int in
+  for i = 0 to t.depth - 1 do
+    let j = finalize t.seeds.(i) h land t.mask in
+    t.idx.(i) <- j;
+    let v = t.rows.(i).(j) in
+    if v < !est then est := v
+  done;
+  (* conservative update: only lift counters up to the new minimum, so
+     colliding flows inflate each other as little as possible *)
+  let target = !est + bytes in
+  for i = 0 to t.depth - 1 do
+    let row = t.rows.(i) in
+    let j = t.idx.(i) in
+    if row.(j) < target then row.(j) <- target
+  done;
+  target
+
+let query t key =
+  let h = base_hash key in
+  let est = ref max_int in
+  for i = 0 to t.depth - 1 do
+    let v = t.rows.(i).(finalize t.seeds.(i) h land t.mask) in
+    if v < !est then est := v
+  done;
+  if !est = max_int then 0 else !est
+
+let halve t =
+  for i = 0 to t.depth - 1 do
+    let row = t.rows.(i) in
+    for j = 0 to t.width - 1 do
+      let v = row.(j) in
+      if v <> 0 then row.(j) <- v asr 1
+    done
+  done
+
+let clear t =
+  for i = 0 to t.depth - 1 do
+    Array.fill t.rows.(i) 0 t.width 0
+  done
+
+let occupied t =
+  let n = ref 0 in
+  for i = 0 to t.depth - 1 do
+    let row = t.rows.(i) in
+    for j = 0 to t.width - 1 do
+      if row.(j) <> 0 then incr n
+    done
+  done;
+  !n
+
+let words t =
+  (* counters + per-row array headers + seeds/scratch + record fields:
+     the resident cost a capacity planner would budget for *)
+  (t.depth * t.width) + (3 * t.depth) + 16

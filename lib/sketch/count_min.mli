@@ -1,0 +1,54 @@
+(** Conservative-update count-min sketch over per-flow byte counts.
+
+    The approximate tier of the bounded-state collector: every sampled
+    flow is counted here in O(depth) words of work and zero
+    allocation, and only flows whose estimate crosses the promotion
+    threshold graduate to an exact {!Planck_collector.Flow_table}
+    entry. Count-min never underestimates; conservative update (raise
+    each row only to the new minimum) keeps the overestimate from
+    collisions as small as the structure allows.
+
+    Row hashes are the Kirsch–Mitzenmacher construction: one seeded
+    FNV-1a base hash over the 5-tuple's fields, then a per-row
+    xorshift* finalizer. Seeds come from {!Planck_util.Prng}, so two
+    sketches built with the same [seed] are identical — no
+    [Hashtbl.hash], no wall-clock, no global state. *)
+
+type t
+
+val create : ?seed:int -> ?depth:int -> ?width:int -> unit -> t
+(** [width] (default 16384) is rounded up to a power of two; [depth]
+    defaults to 4; [seed] (default [0x5eed]) derives the per-row hash
+    seeds. Raises [Invalid_argument] if [depth < 1] or [width < 1]. *)
+
+val update : t -> Planck_packet.Flow_key.t -> int -> int
+(** [update t key bytes] adds [bytes] to the key's counters
+    (conservative update) and returns the post-update estimate. *)
+
+val query : t -> Planck_packet.Flow_key.t -> int
+(** Current estimate: the minimum over the key's row counters. Never
+    less than the true total added since the last {!halve}/{!clear}. *)
+
+val halve : t -> unit
+(** Epoch decay: halve every counter (round toward zero). Called on a
+    fixed clock this makes a counter converge to [rate * 2 * interval],
+    so stale mice fade out instead of accreting forever. *)
+
+val clear : t -> unit
+
+val occupied : t -> int
+(** Number of non-zero counters across all rows — the occupancy gauge.
+    O(depth * width); callers keep it off per-sample paths. *)
+
+val words : t -> int
+(** Approximate resident size in machine words (counters dominate). *)
+
+val depth : t -> int
+
+val width : t -> int
+(** Actual width after power-of-two rounding. *)
+
+val row_index : t -> Planck_packet.Flow_key.t -> row:int -> int
+(** The bucket [key] maps to in [row] — exposed so tests can pin the
+    seeded hash layout with fixed vectors. Raises [Invalid_argument]
+    if [row] is out of range. *)

@@ -20,6 +20,13 @@ type body =
       flows : int;
     }
   | Estimate_update of { switch : int; flow : string; gbps : float }
+  | Flow_promoted of { switch : int; flow : string; est_bytes : int }
+  | Flow_demoted of {
+      switch : int;
+      flow : string;
+      fold_back_bytes : int;
+      lifetime_ns : int;
+    }
   | Controller_notified of { switch : int; port : int }
   | Reroute_decision of {
       flow : string;
@@ -75,7 +82,8 @@ let set_writer t w = t.writer <- w
 let source_of_body = function
   | Packet_drop _ | Queue_high_water _ -> "netsim"
   | Tcp_retransmit _ | Tcp_timeout _ | Tcp_recovery_enter _ -> "tcp"
-  | Congestion_detected _ | Estimate_update _ | Reroute_effective _ ->
+  | Congestion_detected _ | Estimate_update _ | Reroute_effective _
+  | Flow_promoted _ | Flow_demoted _ ->
       "collector"
   | Controller_notified _ | Reroute_decision _ | Reroute_install _ ->
       "controller"
@@ -90,6 +98,8 @@ let name_of_body = function
   | Tcp_recovery_enter _ -> "recovery_enter"
   | Congestion_detected _ -> "congestion_detected"
   | Estimate_update _ -> "estimate_update"
+  | Flow_promoted _ -> "flow_promoted"
+  | Flow_demoted _ -> "flow_demoted"
   | Controller_notified _ -> "notified"
   | Reroute_decision _ -> "reroute_decision"
   | Reroute_install _ -> "reroute_install"
@@ -129,6 +139,19 @@ let fields_of_body = function
         ("switch", Json.Int switch);
         ("flow", Json.String flow);
         ("gbps", Json.Float gbps);
+      ]
+  | Flow_promoted { switch; flow; est_bytes } ->
+      [
+        ("switch", Json.Int switch);
+        ("flow", Json.String flow);
+        ("est_bytes", Json.Int est_bytes);
+      ]
+  | Flow_demoted { switch; flow; fold_back_bytes; lifetime_ns } ->
+      [
+        ("switch", Json.Int switch);
+        ("flow", Json.String flow);
+        ("fold_back_bytes", Json.Int fold_back_bytes);
+        ("lifetime_ns", Json.Int lifetime_ns);
       ]
   | Controller_notified { switch; port } ->
       [ ("switch", Json.Int switch); ("port", Json.Int port) ]
@@ -215,6 +238,17 @@ let body_of_json j ~src ~ev =
       let* flow = string_f j "flow" in
       let* gbps = float_f j "gbps" in
       Ok (Estimate_update { switch; flow; gbps })
+  | "flow_promoted" ->
+      let* switch = int_f j "switch" in
+      let* flow = string_f j "flow" in
+      let* est_bytes = int_f j "est_bytes" in
+      Ok (Flow_promoted { switch; flow; est_bytes })
+  | "flow_demoted" ->
+      let* switch = int_f j "switch" in
+      let* flow = string_f j "flow" in
+      let* fold_back_bytes = int_f j "fold_back_bytes" in
+      let* lifetime_ns = int_f j "lifetime_ns" in
+      Ok (Flow_demoted { switch; flow; fold_back_bytes; lifetime_ns })
   | "notified" ->
       let* switch = int_f j "switch" in
       let* port = int_f j "port" in

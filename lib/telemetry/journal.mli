@@ -49,6 +49,17 @@ type body =
       (** [collector]: mints the correlation id for a new control
           loop. *)
   | Estimate_update of { switch : int; flow : string; gbps : float }
+  | Flow_promoted of { switch : int; flow : string; est_bytes : int }
+      (** [collector]: the sketch tier's estimate for [flow] crossed the
+          promotion threshold and the flow now owns an exact entry. *)
+  | Flow_demoted of {
+      switch : int;
+      flow : string;
+      fold_back_bytes : int;
+      lifetime_ns : int;
+    }
+      (** [collector]: an idle promoted flow left the exact tier;
+          [fold_back_bytes] were credited back to the sketch. *)
   | Controller_notified of { switch : int; port : int }
       (** [controller]: the congestion event arrived over the control
           channel. *)

@@ -1,4 +1,5 @@
 module Prng = Planck_util.Prng
+module Time = Planck_util.Time
 module Fat_tree = Planck_topology.Fat_tree
 
 type pair = { src : int; dst : int }
@@ -58,6 +59,52 @@ let staggered_prob prng ~shape ~p_edge ~p_pod =
         end
       in
       { src = x; dst })
+
+type churn_spec = {
+  flows : int;
+  mean_interarrival : Time.t;
+  mouse_bytes : int;
+  elephant_bytes : int;
+  elephant_every : int;
+}
+
+let default_churn =
+  {
+    flows = 2_000;
+    mean_interarrival = Time.us 50;
+    mouse_bytes = 4 * 1460;
+    elephant_bytes = 2_000_000;
+    elephant_every = 50;
+  }
+
+type arrival = { at : Time.t; src : int; dst : int; size : int }
+
+let churn prng ~hosts ~spec =
+  if hosts <= 1 then invalid_arg "Generate.churn: need at least 2 hosts";
+  if spec.flows < 0 then invalid_arg "Generate.churn: negative flow count";
+  if spec.mouse_bytes <= 0 || spec.elephant_bytes <= 0 then
+    invalid_arg "Generate.churn: non-positive flow size";
+  let mean_s = Time.to_float_s spec.mean_interarrival in
+  let arrivals = ref [] in
+  let t = ref Time.zero in
+  (* explicit loop: each arrival consumes PRNG draws in a fixed order
+     (gap, src, dst), so the trace is reproducible from the seed *)
+  for i = 0 to spec.flows - 1 do
+    t := !t + Time.of_float_s (Prng.exponential prng ~mean:mean_s);
+    let src = Prng.int prng hosts in
+    let rec draw () =
+      let d = Prng.int prng hosts in
+      if d = src then draw () else d
+    in
+    let dst = draw () in
+    let size =
+      if spec.elephant_every > 0 && (i + 1) mod spec.elephant_every = 0 then
+        spec.elephant_bytes
+      else spec.mouse_bytes
+    in
+    arrivals := { at = !t; src; dst; size } :: !arrivals
+  done;
+  List.rev !arrivals
 
 let shuffle_orders prng ~hosts =
   Array.init hosts (fun h ->

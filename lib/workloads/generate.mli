@@ -31,3 +31,30 @@ val staggered_prob :
 val shuffle_orders : Planck_util.Prng.t -> hosts:int -> int array array
 (** [orders.(h)] is the random order in which host [h] visits the other
     hosts during a shuffle. *)
+
+(** {2 Churn (bounded-state stressor)}
+
+    A Poisson stream of short flows — mostly mice, with every k-th
+    flow an elephant. The flow-arrival rate, not the concurrent-flow
+    count, is the knob: it stresses collector flow-table occupancy the
+    way the sketch tier is designed for. *)
+
+type churn_spec = {
+  flows : int;  (** total flows to launch *)
+  mean_interarrival : Planck_util.Time.t;
+  mouse_bytes : int;
+  elephant_bytes : int;
+  elephant_every : int;
+      (** every k-th flow is an elephant; [0] means mice only *)
+}
+
+val default_churn : churn_spec
+(** 2000 flows at one per 50 µs; 4-segment (5.8 kB) mice with a 2 MB
+    elephant every 50th flow. *)
+
+type arrival = { at : Planck_util.Time.t; src : int; dst : int; size : int }
+
+val churn :
+  Planck_util.Prng.t -> hosts:int -> spec:churn_spec -> arrival list
+(** Arrival trace in launch order: exponential interarrivals,
+    uniformly random source, uniformly random destination (≠ source). *)

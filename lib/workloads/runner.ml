@@ -57,7 +57,7 @@ let run_pairs engine ~endpoints ~pairs ~size ?params ?on_flow
   let fresh_port = port_allocator () in
   let flows =
     List.map
-      (fun { Generate.src; dst } ->
+      (fun ({ src; dst } : Generate.pair) ->
         let flow =
           Flow.start ~src:endpoints.(src) ~dst:endpoints.(dst)
             ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params ()
@@ -69,6 +69,28 @@ let run_pairs engine ~endpoints ~pairs ~size ?params ?on_flow
   run_engine_until engine ~horizon ~all_done:(fun () ->
       List.for_all (fun (_, _, flow) -> Flow.completed flow) flows);
   List.map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) flows
+
+let run_churn engine ~endpoints ~arrivals ?params ?on_flow
+    ?(horizon = Time.s 120) () =
+  let fresh_port = port_allocator () in
+  let total = List.length arrivals in
+  let launched = ref 0 in
+  let flows = ref [] in
+  List.iter
+    (fun ({ at; src; dst; size } : Generate.arrival) ->
+      Engine.schedule_at engine ~time:at (fun () ->
+          let flow =
+            Flow.start ~src:endpoints.(src) ~dst:endpoints.(dst)
+              ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params ()
+          in
+          Option.iter (fun f -> f flow) on_flow;
+          incr launched;
+          flows := (src, dst, flow) :: !flows))
+    arrivals;
+  run_engine_until engine ~horizon ~all_done:(fun () ->
+      !launched = total
+      && List.for_all (fun (_, _, flow) -> Flow.completed flow) !flows);
+  List.rev_map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) !flows
 
 let run_shuffle engine ~endpoints ~orders ~concurrency ~size ?params ?on_flow
     ?(horizon = Time.s 120) () =

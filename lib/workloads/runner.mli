@@ -34,6 +34,19 @@ val run_pairs :
     sees every flow as it starts (observability hooks, e.g.
     {!Planck.Recorder.track_flow}). *)
 
+val run_churn :
+  Planck_netsim.Engine.t ->
+  endpoints:Planck_tcp.Endpoint.t array ->
+  arrivals:Generate.arrival list ->
+  ?params:Planck_tcp.Flow.params ->
+  ?on_flow:(Planck_tcp.Flow.t -> unit) ->
+  ?horizon:Planck_util.Time.t ->
+  unit ->
+  flow_result list
+(** Launch each {!Generate.arrival} at its scheduled time; run until
+    every launched flow completes or [horizon] passes. Results are in
+    launch order. *)
+
 val run_shuffle :
   Planck_netsim.Engine.t ->
   endpoints:Planck_tcp.Endpoint.t array ->

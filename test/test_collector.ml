@@ -182,6 +182,58 @@ let flow_table_lifecycle () =
     (List.length (Flow_table.active table ~now:(Time.ms 6)));
   Alcotest.(check int) "expiry removed entry" 0 (Flow_table.size table)
 
+let flow_table_sweep_and_expiry_hooks () =
+  let table = Flow_table.create ~timeout:(Time.ms 5) () in
+  let expired = ref [] in
+  Flow_table.add_on_expire table (fun ~now:_ entry ->
+      expired := entry.Flow_table.key :: !expired);
+  let key i =
+    {
+      FK.src_ip = Ip.host i;
+      dst_ip = Ip.host (i + 1);
+      src_port = i;
+      dst_port = 2;
+      protocol = 6;
+    }
+  in
+  ignore (Flow_table.touch table ~key:(key 2) ~time:0 ~dst_mac:(Mac.host 1) ());
+  ignore (Flow_table.touch table ~key:(key 1) ~time:0 ~dst_mac:(Mac.host 1) ());
+  ignore
+    (Flow_table.touch table ~key:(key 3) ~time:(Time.ms 4)
+       ~dst_mac:(Mac.host 1) ());
+  Alcotest.(check int) "three resident" 3 (Flow_table.size table);
+  Alcotest.(check int) "sweep evicts the idle two" 2
+    (Flow_table.sweep table ~now:(Time.ms 7));
+  Alcotest.(check int) "size counts survivors only" 1 (Flow_table.size table);
+  Alcotest.(check (list int))
+    "expiry callbacks fired in ascending key order"
+    [ 1; 2 ]
+    (List.rev_map (fun k -> k.FK.src_port) !expired);
+  Alcotest.(check int) "idempotent when nothing is idle" 0
+    (Flow_table.sweep table ~now:(Time.ms 7));
+  Alcotest.(check bool) "survivor still resident" true
+    (Flow_table.find table (key 3) <> None)
+
+let collector_occupancy_telemetry_registered () =
+  let tb = single_switch ~hosts:2 () in
+  let collector =
+    Collector.create tb.engine ~switch:0 ~routing:tb.routing
+      ~link_rate:(Rate.gbps 10.0) ()
+  in
+  ignore (Collector.switch_id collector);
+  let module Metrics = Planck_telemetry.Metrics in
+  let has name =
+    List.exists
+      (fun (s : Metrics.snapshot) ->
+        s.Metrics.subsystem = "collector" && s.Metrics.name = name
+        && s.Metrics.label = "s0")
+      (Metrics.snapshot Metrics.default)
+  in
+  Alcotest.(check bool) "occupancy gauge registered" true
+    (has "flow_table_entries");
+  Alcotest.(check bool) "eviction counter registered" true
+    (has "flow_table_evictions")
+
 (* ---- Collector end-to-end ---- *)
 
 let with_collector ?(hosts = 4) () =
@@ -282,6 +334,10 @@ let tests =
     Alcotest.test_case "rolling estimator jitters (fig 10a)" `Quick
       rolling_estimator_jitters;
     Alcotest.test_case "flow table lifecycle" `Quick flow_table_lifecycle;
+    Alcotest.test_case "flow table sweep + expiry hooks" `Quick
+      flow_table_sweep_and_expiry_hooks;
+    Alcotest.test_case "occupancy telemetry registered" `Quick
+      collector_occupancy_telemetry_registered;
     Alcotest.test_case "port inference" `Quick collector_port_inference;
     Alcotest.test_case "link utilization" `Quick collector_link_utilization;
     Alcotest.test_case "congestion events" `Quick collector_congestion_event;

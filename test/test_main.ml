@@ -9,6 +9,7 @@ let () =
       ("tcp-internals", Test_tcp_internals.tests);
       ("topology", Test_topology.tests);
       ("collector", Test_collector.tests);
+      ("sketch", Test_sketch.tests);
       ("controller", Test_controller.tests);
       ("sflow", Test_sflow.tests);
       ("openflow", Test_openflow.tests);

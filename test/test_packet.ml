@@ -177,6 +177,40 @@ let flow_key_arp_none () =
   in
   Alcotest.(check bool) "arp has no key" true (FK.of_packet p = None)
 
+let flow_key_to_string_matches_pp () =
+  let keys =
+    [
+      {
+        FK.src_ip = Ip.host 0;
+        dst_ip = Ip.host 1;
+        src_port = 1234;
+        dst_port = 80;
+        protocol = H.Ipv4.protocol_tcp;
+      };
+      {
+        FK.src_ip = Ip.host 3;
+        dst_ip = Ip.host 7;
+        src_port = 53;
+        dst_port = 40_000;
+        protocol = H.Ipv4.protocol_udp;
+      };
+      {
+        FK.src_ip = Ip.of_int 0xFF_FF_FF_FF;
+        dst_ip = Ip.of_int 0;
+        src_port = 0;
+        dst_port = 65_535;
+        protocol = 132;
+      };
+    ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        "to_string matches pp"
+        (Format.asprintf "%a" FK.pp k)
+        (FK.to_string k))
+    keys
+
 (* ---- Seq32 ---- *)
 
 let seq32_basics () =
@@ -237,6 +271,8 @@ let tests =
     Alcotest.test_case "rewrite preserves id" `Quick with_dst_mac_preserves_id;
     Alcotest.test_case "flow key extraction" `Quick flow_key_of_packet;
     Alcotest.test_case "arp has no flow key" `Quick flow_key_arp_none;
+    Alcotest.test_case "flow key to_string matches pp" `Quick
+      flow_key_to_string_matches_pp;
     Alcotest.test_case "seq32 basics" `Quick seq32_basics;
     qtest seq32_qcheck;
     Alcotest.test_case "pcap file format" `Quick pcap_format;

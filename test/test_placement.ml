@@ -90,7 +90,7 @@ let gff_moves_are_valid_qcheck =
       let pairs = Planck_workloads.Generate.random_bijection prng ~hosts:16 in
       let flows =
         List.map
-          (fun { Planck_workloads.Generate.src; dst } ->
+          (fun ({ src; dst; _ } : Planck_workloads.Generate.pair) ->
             flow ~src ~dst ~rate:(gbps 4.0) routing)
           pairs
       in

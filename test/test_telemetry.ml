@@ -415,6 +415,15 @@ let every_body_kind =
     Journal.Congestion_detected
       { switch = 3; port = 1; gbps = 9.25; capacity_gbps = 10.0; flows = 4 };
     Journal.Estimate_update { switch = 3; flow = "a > b/tcp"; gbps = 4.5 };
+    Journal.Flow_promoted
+      { switch = 3; flow = "a > b/tcp"; est_bytes = 36_500 };
+    Journal.Flow_demoted
+      {
+        switch = 3;
+        flow = "a > b/tcp";
+        fold_back_bytes = 72_000;
+        lifetime_ns = 12_000_000;
+      };
     Journal.Controller_notified { switch = 3; port = 1 };
     Journal.Reroute_decision
       {

@@ -10,7 +10,7 @@ let stride_shape () =
   let pairs = Generate.stride ~hosts:16 ~k:8 in
   Alcotest.(check int) "one flow per host" 16 (List.length pairs);
   List.iter
-    (fun { Generate.src; dst } ->
+    (fun ({ src; dst; _ } : Generate.pair) ->
       Alcotest.(check int) "dst = src+8 mod 16" ((src + 8) mod 16) dst)
     pairs
 
@@ -26,16 +26,16 @@ let bijection_properties_qcheck =
       let pairs =
         Generate.random_bijection (Prng.create ~seed:hosts) ~hosts
       in
-      let dsts = List.map (fun p -> p.Generate.dst) pairs in
+      let dsts = List.map (fun (p : Generate.pair) -> p.dst) pairs in
       List.sort compare dsts = List.init hosts Fun.id
-      && List.for_all (fun p -> p.Generate.src <> p.Generate.dst) pairs)
+      && List.for_all (fun (p : Generate.pair) -> p.src <> p.dst) pairs)
 
 let random_no_self_qcheck =
   QCheck.Test.make ~name:"random workload never sends to self" ~count:100
     QCheck.(int_range 2 64)
     (fun hosts ->
       List.for_all
-        (fun p -> p.Generate.src <> p.Generate.dst)
+        (fun (p : Generate.pair) -> p.src <> p.dst)
         (Generate.random_uniform (Prng.create ~seed:hosts) ~hosts))
 
 let staggered_probabilities () =
@@ -44,7 +44,7 @@ let staggered_probabilities () =
   let same_edge = ref 0 and same_pod = ref 0 and other = ref 0 in
   for _ = 1 to 300 do
     List.iter
-      (fun { Generate.src; dst } ->
+      (fun ({ src; dst; _ } : Generate.pair) ->
         if src / 2 = dst / 2 then incr same_edge
         else if src / 4 = dst / 4 then incr same_pod
         else incr other)
@@ -113,6 +113,49 @@ let runner_shuffle_completes () =
     (fun r -> Alcotest.(check bool) "flow completed" true r.Runner.completed)
     result.Runner.flows
 
+let churn_trace_shape () =
+  let spec = { Generate.default_churn with Generate.flows = 500 } in
+  let arrivals = Generate.churn (Prng.create ~seed:7) ~hosts:16 ~spec in
+  Alcotest.(check int) "500 arrivals" 500 (List.length arrivals);
+  let last = ref Time.zero in
+  let elephants = ref 0 in
+  List.iter
+    (fun (a : Generate.arrival) ->
+      Alcotest.(check bool) "arrival times monotone" true (a.at >= !last);
+      last := a.at;
+      Alcotest.(check bool) "src in range" true (a.src >= 0 && a.src < 16);
+      Alcotest.(check bool) "dst in range, never self" true
+        (a.dst >= 0 && a.dst < 16 && a.dst <> a.src);
+      if a.size = spec.Generate.elephant_bytes then incr elephants
+      else
+        Alcotest.(check int) "mouse size" spec.Generate.mouse_bytes a.size)
+    arrivals;
+  Alcotest.(check int) "every 50th flow is an elephant" 10 !elephants;
+  let again = Generate.churn (Prng.create ~seed:7) ~hosts:16 ~spec in
+  Alcotest.(check bool) "same seed reproduces the trace" true
+    (arrivals = again);
+  let other = Generate.churn (Prng.create ~seed:8) ~hosts:16 ~spec in
+  Alcotest.(check bool) "different seed differs" true (arrivals <> other)
+
+let runner_churn_completes () =
+  let tb = Testbed.single_switch ~hosts:4 () in
+  let spec =
+    {
+      Generate.default_churn with
+      Generate.flows = 40;
+      mean_interarrival = Time.us 200;
+    }
+  in
+  let arrivals = Generate.churn (Prng.create ~seed:5) ~hosts:4 ~spec in
+  let results =
+    Runner.run_churn tb.Testbed.engine ~endpoints:tb.Testbed.endpoints
+      ~arrivals ~horizon:(Time.s 10) ()
+  in
+  Alcotest.(check int) "every arrival launched" 40 (List.length results);
+  List.iter
+    (fun r -> Alcotest.(check bool) "flow completed" true r.Runner.completed)
+    results
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -130,4 +173,7 @@ let tests =
       runner_horizon_truncates;
     Alcotest.test_case "runner shuffle bookkeeping" `Quick
       runner_shuffle_completes;
+    Alcotest.test_case "churn trace shape + determinism" `Quick
+      churn_trace_shape;
+    Alcotest.test_case "runner churn completes" `Quick runner_churn_completes;
   ]

@@ -37,6 +37,11 @@ let default_hot_roots =
     "Planck_netsim__Txport.transmit";
     (* collector sample path *)
     "Planck_collector__Collector.process";
+    (* sketch tier: the collector reaches these through a backend
+       record, which the callgraph cannot see through — root them *)
+    "Planck_sketch__Count_min.update";
+    "Planck_sketch__Tiered_table.sample";
+    "Planck_sketch__Tiered_table.tick";
     (* tcp segment handling *)
     "Planck_tcp__Flow.sender_receive";
     "Planck_tcp__Flow.receiver_receive";
