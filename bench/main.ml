@@ -12,6 +12,8 @@
 
 module Json = Planck_telemetry.Json
 module Metrics = Planck_telemetry.Metrics
+module Profile = Planck_telemetry.Profile
+module Bench_gate = Planck_telemetry.Bench_gate
 module Trace = Planck_telemetry.Trace
 module Export = Planck_telemetry.Export
 module Journal = Planck_telemetry.Journal
@@ -49,10 +51,12 @@ let experiments : (string * string * (Exp_common.opts -> unit)) list =
       Exp_bounded_state.run );
   ]
 
-let run_selected names opts with_micro =
+let run_selected ?(skip_experiments = false) ?(only = []) names opts with_micro
+    =
   let t0 = Unix.gettimeofday () in
   let selected =
     match names with
+    | _ when skip_experiments -> []
     | [] -> experiments
     | names ->
         List.filter
@@ -86,7 +90,7 @@ let run_selected names opts with_micro =
         (name, wall, ok))
       selected
   in
-  let micro = if with_micro then Micro.run () else [] in
+  let micro = if with_micro then Micro.run ~only () else [] in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal wall time: %.1fs\n%!" total;
   (timed, total, micro)
@@ -114,16 +118,7 @@ let emit_json path timed total micro =
                      ("ok", Json.Bool ok);
                    ])
                timed) );
-        ( "micro",
-          Json.List
-            (List.map
-               (fun (name, ns_per_op) ->
-                 Json.Obj
-                   [
-                     ("name", Json.String name);
-                     ("ns_per_op", Json.Float ns_per_op);
-                   ])
-               micro) );
+        ("micro", Bench_gate.rows_to_json micro);
         ( "metrics",
           match Json.member (Export.metrics_to_json Metrics.default) "metrics"
           with
@@ -206,10 +201,103 @@ let timeseries_interval_us =
   let doc = "Sampling interval for --timeseries-out, microseconds." in
   Arg.(value & opt int 500 & info [ "timeseries-interval-us" ] ~docv:"US" ~doc)
 
+let only_micros =
+  let doc =
+    "Run only the microbenchmark with this id (see --json row ids). \
+     Repeatable; applies to --micro and --check."
+  in
+  Arg.(value & opt_all string [] & info [ "only" ] ~docv:"ID" ~doc)
+
+let check_flag =
+  let doc =
+    "Run the microbenchmarks and gate them against a committed baseline \
+     (--against, or the latest BENCH_*.json under --bench-dir): exit \
+     non-zero if any row regressed beyond its tolerance band, went \
+     missing, or lost its estimate. Implies --micro; experiments are \
+     skipped unless named. Set PLANCK_BENCH_NO_GATE=1 to report without \
+     enforcing (noisy runners)."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let against =
+  let doc = "Baseline BENCH_N.json for --check (default: latest committed)." in
+  Arg.(value & opt (some string) None & info [ "against" ] ~docv:"FILE" ~doc)
+
+let tolerance =
+  let doc =
+    "Default fractional tolerance band for --check (0.15 = +/-15%)."
+  in
+  Arg.(value & opt float 0.15 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+
+let noise_floor =
+  let doc =
+    "Absolute allowance in ns added on both sides of the --check band \
+     (sub-50ns rows sit at clock granularity, where a few ns of jitter \
+     exceeds any percentage)."
+  in
+  Arg.(value & opt float 5.0 & info [ "noise-floor" ] ~docv:"NS" ~doc)
+
+let tolerance_overrides =
+  let doc =
+    "Per-row tolerance override for --check, e.g. \
+     switch-forward-mirror=0.30. Repeatable."
+  in
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "tolerance-override" ] ~docv:"ID=FRAC" ~doc)
+
+let bench_dir =
+  let doc = "Directory holding the committed BENCH_*.json trajectory." in
+  Arg.(value & opt string "." & info [ "bench-dir" ] ~docv:"DIR" ~doc)
+
+let trend_flag =
+  let doc =
+    "Render a markdown trend table across every committed BENCH_*.json \
+     under --bench-dir and exit (runs nothing)."
+  in
+  Arg.(value & flag & info [ "trend" ] ~doc)
+
+let trend_out =
+  let doc = "Like --trend but write the markdown to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trend-out" ] ~docv:"FILE" ~doc)
+
+let profile_flag =
+  let doc =
+    "Enable the self-profiling spans (and the metric registry backing \
+     them) and print the per-subsystem report after the run; the span \
+     metrics also land in --json/--metrics-out snapshots."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let main names runs full seed list_experiments with_micro json_path
     metrics_path trace_path journal_path timeseries_path
-    timeseries_interval_us =
-  if list_experiments then begin
+    timeseries_interval_us only check against_path tolerance noise_floor_ns
+    tolerance_overrides bench_dir trend trend_out profile =
+  let with_micro = with_micro || check in
+  let overrides =
+    List.map
+      (fun s ->
+        match Bench_gate.parse_override s with
+        | Ok entry -> entry
+        | Error e ->
+            Printf.eprintf "planck-bench --tolerance-override: %s\n" e;
+            Stdlib.exit 1)
+      tolerance_overrides
+  in
+  if trend || trend_out <> None then begin
+    match Bench_gate.trend ~dir:bench_dir with
+    | Error e ->
+        Printf.eprintf "planck-bench --trend: %s\n" e;
+        Stdlib.exit 1
+    | Ok md -> (
+        match trend_out with
+        | Some path ->
+            Export.write_file ~path md;
+            Printf.printf "wrote trend table to %s\n%!" path
+        | None -> print_string md)
+  end
+  else if list_experiments then begin
     List.iter
       (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
       experiments;
@@ -224,8 +312,9 @@ let main names runs full seed list_experiments with_micro json_path
              Printf.eprintf "planck-bench: cannot write %s\n" msg;
              exit 1))
       [ json_path; metrics_path; trace_path; journal_path; timeseries_path ];
-    if json_path <> None || metrics_path <> None then
+    if json_path <> None || metrics_path <> None || profile then
       Metrics.set_enabled Metrics.default true;
+    if profile then Profile.set_enabled true;
     if trace_path <> None then Trace.set_enabled Trace.default true;
     if journal_path <> None then Journal.set_enabled Journal.default true;
     (* Stream journal events as they record: experiments produce far more
@@ -272,8 +361,17 @@ let main names runs full seed list_experiments with_micro json_path
         verbose = false;
       }
     in
-    let timed, total, micro = run_selected names opts with_micro in
+    (* --check with no named experiments gates the micros alone. *)
+    let skip_experiments = check && names = [] in
+    let timed, total, micro =
+      run_selected ~skip_experiments ~only names opts with_micro
+    in
     Planck.Experiment.set_observer None;
+    if profile then begin
+      Profile.set_enabled false;
+      Printf.printf "\nSelf-profile (wall clock + GC, by span):\n%s%!"
+        (Profile.render (Profile.summary ()))
+    end;
     (match journal_channel with
     | Some oc ->
         Journal.set_writer Journal.default None;
@@ -312,7 +410,114 @@ let main names runs full seed list_experiments with_micro json_path
            Perfetto)\n\
            %!"
           (Trace.length Trace.default) path)
-      trace_path
+      trace_path;
+    if check then begin
+      let gate_failed = ref false in
+      (let baseline =
+         match against_path with
+         | Some path -> Some path
+         | None -> Bench_gate.latest_bench ~dir:bench_dir
+       in
+       match baseline with
+       | None ->
+           Printf.eprintf "planck-bench --check: no BENCH_*.json under %s\n"
+             bench_dir;
+           gate_failed := true
+       | Some path -> (
+           match Bench_gate.load_rows ~path with
+           | Error e ->
+               Printf.eprintf "planck-bench --check: %s\n" e;
+               gate_failed := true
+           | Ok baseline_rows ->
+               (* --only narrows the gate to the selected micros: a
+                  baseline row with no counterpart in this run is a
+                  deliberate non-selection, not a removal. *)
+               let baseline_rows =
+                 if only = [] then baseline_rows
+                 else
+                   List.filter
+                     (fun b ->
+                       List.exists
+                         (fun c ->
+                           String.equal b.Bench_gate.id c.Bench_gate.id
+                           || String.equal b.Bench_gate.name c.Bench_gate.name)
+                         micro)
+                     baseline_rows
+               in
+               let compare current =
+                 Bench_gate.compare_rows ~tolerance ~noise_floor_ns ~overrides
+                   ~baseline:baseline_rows ~current ()
+               in
+               let comparisons = compare micro in
+               (* A shared box can be in a slow scheduler/frequency
+                  state for a whole measurement window, so give rows
+                  that regressed one re-measure before failing: noise
+                  recovers, a real regression fails twice. *)
+               let retry_ids =
+                 List.filter_map
+                   (fun c ->
+                     match c.Bench_gate.status with
+                     | Bench_gate.Regressed _ ->
+                         Option.map
+                           (fun r -> r.Bench_gate.id)
+                           (List.find_opt
+                              (fun r ->
+                                String.equal r.Bench_gate.id c.Bench_gate.cmp_id
+                                || String.equal r.Bench_gate.name
+                                     c.Bench_gate.cmp_name)
+                              micro)
+                     | _ -> None)
+                   comparisons
+               in
+               let comparisons =
+                 match retry_ids with
+                 | [] -> comparisons
+                 | ids ->
+                     Printf.printf
+                       "\n%d row(s) regressed; re-measuring once to shed \
+                        scheduler noise...\n\
+                        %!"
+                       (List.length ids);
+                     let rerun = Micro.run ~only:ids () in
+                     let micro =
+                       List.map
+                         (fun r ->
+                           match
+                             List.find_opt
+                               (fun r2 ->
+                                 String.equal r2.Bench_gate.id r.Bench_gate.id)
+                               rerun
+                           with
+                           | Some
+                               {
+                                 Bench_gate.ns_per_op = Some again;
+                                 _;
+                               } -> (
+                               match r.Bench_gate.ns_per_op with
+                               | Some first ->
+                                   {
+                                     r with
+                                     Bench_gate.ns_per_op =
+                                       Some (Float.min first again);
+                                   }
+                               | None -> r)
+                           | Some _ | None -> r)
+                         micro
+                     in
+                     compare micro
+               in
+               Printf.printf "\nGate against %s (band +/-%.0f%%):\n%s%!" path
+                 (100. *. tolerance)
+                 (Bench_gate.render_check comparisons);
+               if not (Bench_gate.passes comparisons) then
+                 if Sys.getenv_opt "PLANCK_BENCH_NO_GATE" <> None then
+                   Printf.printf
+                     "PLANCK_BENCH_NO_GATE set: regression reported, gate \
+                      not enforced\n\
+                      %!"
+                 else gate_failed := true));
+      if !gate_failed then Stdlib.exit 1
+    end
   end
 
 let cmd =
@@ -325,6 +530,8 @@ let cmd =
     Term.(
       const main $ names $ runs $ full $ seed $ list_flag $ micro_flag
       $ json_out $ metrics_out $ trace_out $ journal_out $ timeseries_out
-      $ timeseries_interval_us)
+      $ timeseries_interval_us $ only_micros $ check_flag $ against $ tolerance
+      $ noise_floor $ tolerance_overrides $ bench_dir $ trend_flag $ trend_out
+      $ profile_flag)
 
 let () = exit (Cmd.eval cmd)

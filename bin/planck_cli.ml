@@ -26,6 +26,8 @@ module Journal = Planck_telemetry.Journal
 module Timeseries = Planck_telemetry.Timeseries
 module Inspect = Planck_telemetry.Inspect
 module Reporter = Planck_telemetry.Reporter
+module Profile = Planck_telemetry.Profile
+module Json = Planck_telemetry.Json
 module Stats = Planck_util.Stats
 open Planck
 
@@ -144,9 +146,26 @@ let parse_scheme = function
   | "optimal" -> Ok `Optimal
   | s -> Error (Printf.sprintf "unknown scheme %s" s)
 
+(* --profile: spans need both the profiler flag and the metric registry
+   backing their counters; the report prints from the live registry
+   after the run (and also lands in --metrics-out snapshots, which
+   [inspect --profile] re-renders offline). *)
+let profile_setup profile =
+  if profile then begin
+    Metrics.set_enabled Metrics.default true;
+    Profile.set_enabled true
+  end
+
+let profile_report profile =
+  if profile then begin
+    Profile.set_enabled false;
+    Printf.printf "\nself-profile (wall clock + GC, by span):\n%s"
+      (Profile.render (Profile.summary ()))
+  end
+
 let run_experiment () workload_name scheme_name flow_table_name size_mib runs
     seed csv metrics_out trace_out journal_out timeseries_out
-    timeseries_interval_us =
+    timeseries_interval_us profile =
   match
     ( parse_workload workload_name,
       parse_scheme scheme_name,
@@ -158,6 +177,7 @@ let run_experiment () workload_name scheme_name flow_table_name size_mib runs
   | Ok workload, Ok scheme, Ok flow_table
     when telemetry_setup ?journal_out ?timeseries_out metrics_out trace_out
     ->
+      profile_setup profile;
       let spec, sch =
         match scheme with
         | `Fabric s -> (Testbed.paper_fat_tree ~seed (), s)
@@ -249,15 +269,17 @@ let run_experiment () workload_name scheme_name flow_table_name size_mib runs
         Printf.printf "mean average flow throughput: %.3f Gbps\n"
           (Experiment.mean_avg_goodput summaries)
       end;
+      profile_report profile;
       telemetry_dump metrics_out trace_out;
       0
   | _ -> 1
 
 (* ---- capture subcommand ---- *)
 
-let capture output duration_ms seed metrics_out trace_out =
+let capture output duration_ms seed metrics_out trace_out profile =
   if not (telemetry_setup metrics_out trace_out) then 1
   else begin
+    profile_setup profile;
     let tb = Testbed.create (Testbed.paper_fat_tree ~seed ()) in
   let collector =
     Collector.create tb.Testbed.engine ~switch:0 ~routing:tb.Testbed.routing
@@ -292,6 +314,7 @@ let capture output duration_ms seed metrics_out trace_out =
   Printf.printf "wrote %d samples (%d bytes) to %s\n"
     (Collector.vantage_count collector)
     (String.length pcap) output;
+  profile_report profile;
   telemetry_dump metrics_out trace_out;
   0
   end
@@ -415,7 +438,7 @@ let print_phases events =
       phases
   end
 
-let inspect () journal_path timeseries_path =
+let inspect_journal journal_path timeseries_path =
   match Journal.of_ndjson (read_file journal_path) with
   | exception Sys_error msg ->
       Printf.eprintf "planck-cli: %s\n" msg;
@@ -453,6 +476,46 @@ let inspect () journal_path timeseries_path =
                 (List.length rows) (List.length names) path;
               print_estimate_errors names rows));
       0
+
+(* Offline self-profile report from a metrics snapshot (--metrics-out
+   of run/capture/bench, or the "metrics" member of bench --json). *)
+let inspect_profile path =
+  match Json.of_string (read_file path) with
+  | exception Sys_error msg ->
+      Printf.eprintf "planck-cli: %s\n" msg;
+      1
+  | Error e ->
+      Printf.eprintf "planck-cli: %s: %s\n" path e;
+      1
+  | Ok doc -> (
+      match Profile.rows_of_metrics_json doc with
+      | Error e ->
+          Printf.eprintf "planck-cli: %s: %s\n" path e;
+          1
+      | Ok rows ->
+          Printf.printf "self-profile from %s (top spans by self time):\n%s"
+            path (Profile.render rows);
+          0)
+
+let inspect () journal_path timeseries_path profile_path =
+  match (journal_path, profile_path) with
+  | None, None ->
+      Printf.eprintf
+        "planck-cli: inspect needs a JOURNAL argument and/or --profile FILE\n";
+      1
+  | journal, profile ->
+      let codes =
+        List.concat
+          [
+            (match profile with
+            | Some path -> [ inspect_profile path ]
+            | None -> []);
+            (match journal with
+            | Some path -> [ inspect_journal path timeseries_path ]
+            | None -> []);
+          ]
+      in
+      List.fold_left max 0 codes
 
 (* ---- cmdliner wiring ---- *)
 
@@ -505,6 +568,16 @@ let trace_out_arg =
         ~doc:
           "Enable sim-time tracing and write a Chrome trace_event JSON \
            (open in chrome://tracing or ui.perfetto.dev).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the self-profiling spans (wall clock + GC per \
+           subsystem) and print the report after the run; span metrics \
+           also land in --metrics-out snapshots for $(b,inspect \
+           --profile).")
 
 let topology_cmd =
   let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Fat-tree arity.") in
@@ -570,7 +643,7 @@ let run_cmd =
     Term.(
       const run_experiment $ debug_arg $ workload $ scheme $ flow_table $ size
       $ runs $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg $ journal_out
-      $ timeseries_out $ timeseries_interval)
+      $ timeseries_out $ timeseries_interval $ profile_arg)
 
 let capture_cmd =
   let output =
@@ -586,15 +659,17 @@ let capture_cmd =
     (Cmd.info "capture" ~doc:"Dump a switch vantage point to pcap")
     Term.(
       const capture $ output $ duration $ seed_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ profile_arg)
 
 let inspect_cmd =
   let journal =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"JOURNAL"
-          ~doc:"NDJSON journal written by $(b,run --journal-out).")
+          ~doc:
+            "NDJSON journal written by $(b,run --journal-out). Optional \
+             when --profile is given.")
   in
   let timeseries =
     Arg.(
@@ -605,12 +680,23 @@ let inspect_cmd =
             "Time-series CSV written by $(b,run --timeseries-out); adds \
              estimate-vs-truth error summaries.")
   in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Metrics snapshot written by $(b,--metrics-out) (or a \
+             $(b,bench --json) document); prints the self-profile report \
+             — top spans by self time, allocation rates, GC counts.")
+  in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:
          "Analyze a flight-recorder journal: per-loop control stage \
-          breakdowns, reroute flaps, estimate accuracy")
-    Term.(const inspect $ debug_arg $ journal $ timeseries)
+          breakdowns, reroute flaps, estimate accuracy, runtime \
+          self-profile")
+    Term.(const inspect $ debug_arg $ journal $ timeseries $ profile)
 
 let () =
   let doc = "Planck (SIGCOMM 2014 reproduction) command-line tool" in

@@ -10,7 +10,11 @@ module Collector = Planck_collector.Collector
 module Metrics = Planck_telemetry.Metrics
 module Trace = Planck_telemetry.Trace
 module Journal = Planck_telemetry.Journal
+module Profile = Planck_telemetry.Profile
 module Packet = Planck_packet.Packet
+
+let sp_decide = Profile.register "te.decide"
+let sp_install = Profile.register "te.install"
 
 let log = Logs.Src.create "planck.te" ~doc:"Traffic-engineering application"
 
@@ -143,8 +147,10 @@ let greedy_route_flow t ~corr flow =
             end
             else None
           in
+          Profile.enter sp_install;
           Reroute.apply ?on_install t.config.mechanism ~channel:t.channel
             ~routing:t.routing ~key:flow.Net_view.key ~new_mac:!best_mac;
+          Profile.exit sp_install;
           List.iter
             (fun hook ->
               hook now flow.Net_view.key ~old_mac:current_mac
@@ -155,6 +161,7 @@ let greedy_route_flow t ~corr flow =
 
 (* process_cong_ntfy of Algorithm 1. *)
 let process t (event : Collector.congestion) =
+  Profile.enter sp_decide;
   Log.debug (fun m ->
       m "congestion notification: switch %d port %d at %.2f Gbps (%d flows)"
         event.Collector.switch event.Collector.port
@@ -195,7 +202,8 @@ let process t (event : Collector.congestion) =
   List.iter (greedy_route_flow t ~corr:event.Collector.corr) flows;
   Trace.span_end Trace.default
     ~now:(Engine.now t.engine)
-    ~cat:"te" ~name:"control_loop" ()
+    ~cat:"te" ~name:"control_loop" ();
+  Profile.exit sp_decide
 
 let create engine ~routing ~channel ~collectors ~link_rate
     ?(config = default_config) () =

@@ -2,6 +2,9 @@ module Time = Planck_util.Time
 module Ring = Planck_util.Ring
 module Packet = Planck_packet.Packet
 module Metrics = Planck_telemetry.Metrics
+module Profile = Planck_telemetry.Profile
+
+let sp_drain = Profile.register "sink.drain"
 
 type record = { arrival : Time.t; rx : Time.t; wire : bytes; wire_size : int }
 
@@ -19,6 +22,7 @@ type t = {
 }
 
 let drain t =
+  Profile.enter sp_drain;
   let now = Engine.now t.engine in
   let rec loop () =
     match Ring.pop t.ring with
@@ -33,7 +37,8 @@ let drain t =
           };
         loop ()
   in
-  loop ()
+  loop ();
+  Profile.exit sp_drain
 
 let create engine ?(ring_capacity = 2048) ?(poll_interval = Time.us 25)
     ?(label = "") ~consumer () =

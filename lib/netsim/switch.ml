@@ -6,6 +6,9 @@ module Packet = Planck_packet.Packet
 module Mac = Planck_packet.Mac
 module Metrics = Planck_telemetry.Metrics
 module Journal = Planck_telemetry.Journal
+module Profile = Planck_telemetry.Profile
+
+let sp_pipeline = Profile.register "switch.pipeline"
 
 type arbitration = Round_robin | Fifo
 
@@ -292,6 +295,7 @@ let arm_pipeline t =
       end
 
 let on_pipeline t =
+  Profile.enter sp_pipeline;
   let now = Engine.now t.engine in
   let rec loop () =
     match Heap.min_key t.pipeline with
@@ -304,7 +308,8 @@ let on_pipeline t =
     | Some _ | None -> ()
   in
   loop ();
-  arm_pipeline t
+  arm_pipeline t;
+  Profile.exit sp_pipeline
 
 let create engine ~name ~ports ~config ?prng () =
   if ports <= 0 then invalid_arg "Switch.create: ports must be positive";

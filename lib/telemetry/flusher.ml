@@ -17,8 +17,11 @@ let create ?(registry = Metrics.default) ?(trace = Trace.default) ~outputs ()
     =
   { registry; trace; outputs; flushes = 0 }
 
+let sp_flush = Profile.register "flusher.flush"
+
 let flush t =
   t.flushes <- t.flushes + 1;
+  Profile.enter sp_flush;
   List.iter
     (fun output ->
       match output with
@@ -29,7 +32,8 @@ let flush t =
       | Trace_json path ->
           Export.write_file ~path (Trace.to_chrome_json t.trace)
       | Custom f -> f ())
-    t.outputs
+    t.outputs;
+  Profile.exit sp_flush
 
 let flushes t = t.flushes
 

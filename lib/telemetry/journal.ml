@@ -1,6 +1,8 @@
 module Time = Planck_util.Time
 module Ring = Planck_util.Ring
 
+let sp_io = Profile.register "journal.io"
+
 type body =
   | Packet_drop of { switch : string; port : int; mirror : bool }
   | Queue_high_water of {
@@ -336,5 +338,8 @@ let record t ~ts ?corr body =
     ignore (Ring.push t.ring ev);
     match t.writer with
     | None -> ()
-    | Some w -> w (Json.to_string (event_to_json ev))
+    | Some w ->
+        Profile.enter sp_io;
+        w (Json.to_string (event_to_json ev));
+        Profile.exit sp_io
   end

@@ -16,6 +16,8 @@
 
 module Json = Json
 module Metrics = Metrics
+module Profile = Profile
+module Bench_gate = Bench_gate
 module Trace = Trace
 module Journal = Journal
 module Timeseries = Timeseries

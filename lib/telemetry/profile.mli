@@ -1,0 +1,102 @@
+(** Self-profiling spans: wall-clock and GC cost attributed to named
+    subsystems.
+
+    A span is registered once (cold path) and entered/exited around a
+    unit of runtime work — engine dispatch, the switch pipeline, the
+    collector ring drain, a sketch update, a TE decision, journal I/O.
+    While profiling is enabled, each exit records into the span's
+    metrics (in the owning {!Metrics} registry, subsystem ["profile"],
+    label = span name):
+
+    - ["span_ns"] histogram — inclusive wall time per visit (log2
+      buckets, so the export carries the latency distribution);
+    - ["self_ns"] counter — exclusive time: inclusive minus the time
+      spent inside nested child spans (flamegraph-style self time);
+    - ["minor_words"] / ["promoted_words"] / ["major_words"] counters —
+      exclusive GC-word deltas ({!Gc.quick_stat});
+    - ["minor_collections"] / ["major_collections"] counters —
+      exclusive collection counts.
+
+    Costs of the measurement itself are controlled two ways: disabled,
+    {!enter}/{!exit} are a single load+test of one flag (no allocation,
+    no clock read — the same discipline as {!Metrics} updates); enabled,
+    the profiler's own allocations (the [Gc.quick_stat] record) are
+    metered against a private ledger and subtracted from every
+    enclosing span's word counts, so "words/op" measures the profiled
+    code, not the profiler.
+
+    Spans nest on a fixed-depth preallocated frame stack (no allocation
+    per visit). An {!exit} whose span is not the innermost open frame
+    unwinds to the matching frame, discarding abandoned inner frames —
+    so a span body that escapes by exception self-heals at the next
+    well-paired exit. *)
+
+type t
+(** A registered span handle. *)
+
+val register : ?registry:Metrics.registry -> string -> t
+(** [register name] creates (or returns the existing) span [name],
+    backed by metrics in [registry] (default {!Metrics.default}).
+    Recording only happens while both {!enabled} and the owning
+    registry's enabled flag are on. *)
+
+val name : t -> string
+
+val set_enabled : bool -> unit
+(** Enables/disables all spans process-wide and resets the open-frame
+    stack (any spans open at the flip are abandoned, recording
+    nothing). *)
+
+val enabled : unit -> bool
+
+val enter : t -> unit
+(** Opens a frame for [t]. One branch when disabled; silently drops the
+    frame when the stack is at depth {!max_depth}. *)
+
+val exit : t -> unit
+(** Closes the innermost open frame for [t] and records its metrics.
+    One branch when disabled; a no-op if no frame for [t] is open. *)
+
+val with_span : t -> (unit -> 'a) -> 'a
+(** [with_span t f] brackets [f ()] with {!enter}/{!exit}, exiting on
+    exception too. Convenience for cold call sites and tests; hot sites
+    call {!enter}/{!exit} directly to avoid the closure. *)
+
+val max_depth : int
+(** Frame-stack capacity (nesting deeper than this records nothing for
+    the excess frames). *)
+
+val set_clock : (unit -> int) option -> unit
+(** Replace the wall-clock source (monotonic nanoseconds as [int]) —
+    deterministic tests inject a fake clock; [None] restores the real
+    one. *)
+
+(** {2 Reporting} *)
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_total_ns : int;  (** inclusive wall time, summed over visits *)
+  r_self_ns : int;  (** exclusive wall time *)
+  r_max_ns : int;  (** worst single visit, inclusive *)
+  r_minor_words : int;
+  r_promoted_words : int;
+  r_major_words : int;
+  r_minor_collections : int;
+  r_major_collections : int;
+}
+
+val summary : ?registry:Metrics.registry -> unit -> row list
+(** Live rows for every span registered against [registry], sorted by
+    self time, largest first. *)
+
+val rows_of_metrics_json : Json.t -> (row list, string) result
+(** Rebuild rows from an exported metrics document — either the
+    [{"metrics": [...]}] object {!Export.metrics_to_json} writes or the
+    bare metrics list embedded in [bench --json] output. Entries
+    outside subsystem ["profile"] are ignored; [Error] only if the
+    document shape is not a metrics snapshot at all. *)
+
+val render : row list -> string
+(** Plain-text report: top spans by self time with share-of-total,
+    per-call costs, allocation rates, and GC counts. *)

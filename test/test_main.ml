@@ -3,6 +3,8 @@ let () =
     [
       ("util", Test_util.tests);
       ("telemetry", Test_telemetry.tests);
+      ("profile", Test_profile.tests);
+      ("bench-gate", Test_gate.tests);
       ("packet", Test_packet.tests);
       ("netsim", Test_netsim.tests);
       ("tcp", Test_tcp.tests);
