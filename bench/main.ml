@@ -372,6 +372,9 @@ let main names runs full seed list_experiments with_micro json_path
       Printf.printf "\nSelf-profile (wall clock + GC, by span):\n%s%!"
         (Profile.render (Profile.summary ()))
     end;
+    (* Drop scoped-registry spans (micro fixtures) from the process
+       catalog so repeated in-process runs don't accumulate them. *)
+    Profile.reset ();
     (match journal_channel with
     | Some oc ->
         Journal.set_writer Journal.default None;

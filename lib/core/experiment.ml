@@ -58,10 +58,10 @@ let pairs_for (testbed : Testbed.t) workload prng =
 let observer :
     (Testbed.t -> Scheme.deployed -> (Planck_tcp.Flow.t -> unit) option)
     option
-    ref =
-  ref None
+    Atomic.t =
+  Atomic.make None
 
-let set_observer f = observer := f
+let set_observer f = Atomic.set observer f
 
 let phase_marker testbed name detail =
   if Journal.enabled Journal.default then
@@ -82,7 +82,7 @@ let run ~spec ~scheme ~workload ~size ?(flow_table = Scheme.Exact) ?horizon
     (Printf.sprintf "%s / %s, %d B flows, seed %d" (workload_name workload)
        (Scheme.name scheme) size spec.Testbed.seed);
   let on_flow =
-    match !observer with
+    match Atomic.get observer with
     | None -> None
     | Some observe -> observe testbed deployed
   in

@@ -13,15 +13,15 @@ let sp_dispatch = Profile.register "engine.dispatch"
 let m_pending_hw =
   Metrics.gauge ~subsystem:"engine" ~name:"pending_high_water" ()
 
-let aggregate_hw = ref 0
-let next_engine_id = ref 0
+let aggregate_hw = Atomic.make 0
+let next_engine_id = Atomic.make 0
 
 (* The default queue geometry for new engines. Mutable so tests and
    benches can A/B a whole experiment against the heap-only baseline
    without threading a config through every constructor. *)
-let default_queue_config = ref Wheel.default_config
-let set_default_queue c = default_queue_config := c
-let default_queue () = !default_queue_config
+let default_queue_config = Atomic.make Wheel.default_config
+let set_default_queue c = Atomic.set default_queue_config c
+let default_queue () = Atomic.get default_queue_config
 
 type t = {
   queue : (unit -> unit) Wheel.t;
@@ -38,14 +38,15 @@ let create ?label ?queue () =
     match label with
     | Some l -> l
     | None ->
-        let id = !next_engine_id in
-        incr next_engine_id;
+        let id = Atomic.fetch_and_add next_engine_id 1 in
         Printf.sprintf "engine%d" id
   in
   let tel_compactions =
     Metrics.counter ~subsystem:"engine" ~name:"compactions" ~label ()
   in
-  let config = match queue with Some c -> c | None -> !default_queue_config in
+  let config =
+    match queue with Some c -> c | None -> Atomic.get default_queue_config
+  in
   {
     queue =
       Wheel.create ~config
@@ -69,10 +70,16 @@ let note_scheduled t =
   if n > t.max_pending then begin
     t.max_pending <- n;
     Metrics.Gauge.set_int t.tel_pending_hw n;
-    if n > !aggregate_hw then begin
-      aggregate_hw := n;
-      Metrics.Gauge.set_int m_pending_hw n
-    end
+    (* monotone high-water bump: CAS loop so concurrent engines on
+       separate domains never regress the aggregate *)
+    let rec bump () =
+      let cur = Atomic.get aggregate_hw in
+      if n > cur then
+        if Atomic.compare_and_set aggregate_hw cur n then
+          Metrics.Gauge.set_int m_pending_hw n
+        else bump ()
+    in
+    bump ()
   end
 
 let insert t ~key f =

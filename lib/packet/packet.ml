@@ -7,10 +7,8 @@ let mtu = 1500
 let max_tcp_payload = mtu - Headers.Ipv4.size - Headers.Tcp.size
 
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let tcp ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ~seq ~ack_seq
     ~flags ?(sack = []) ~payload_len () =

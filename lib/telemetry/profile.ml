@@ -12,8 +12,11 @@
    Tests swap in a deterministic counter via [set_clock]. *)
 
 let real_clock () = Int64.to_int (Monotonic_clock.clock_linux_get_time ())
-let clock = ref real_clock
-let set_clock = function None -> clock := real_clock | Some f -> clock := f
+let clock = Atomic.make real_clock
+
+let set_clock = function
+  | None -> Atomic.set clock real_clock
+  | Some f -> Atomic.set clock f
 
 (* ---- self-words ledger ----
 
@@ -23,16 +26,16 @@ let set_clock = function None -> clock := real_clock | Some f -> clock := f
    minor-words counter *net* of this ledger, so nesting quick_stat
    calls inside a measured window does not charge the window. *)
 
-let self_words = ref 0
+let self_words = Atomic.make 0
 
 let[@inline] minor_words_net () =
-  int_of_float (Gc.minor_words ()) - !self_words
+  int_of_float (Gc.minor_words ()) - Atomic.get self_words
 
 let quick_stat () =
   let before = Gc.minor_words () in
   let st = Gc.quick_stat () in
   let after = Gc.minor_words () in
-  self_words := !self_words + int_of_float (after -. before);
+  ignore (Atomic.fetch_and_add self_words (int_of_float (after -. before)) : int);
   st
 
 (* ---- spans ---- *)
@@ -52,40 +55,61 @@ type t = {
 
 let name t = t.sp_name
 
-let next_id = ref 0
-let all : t list ref = ref []
+(* ---- span catalog ----
+
+   The per-process registry of registered spans, replacing the former
+   bare [all : t list ref] / [next_id] globals. Registration and
+   catalog scans are cold paths (module init, bench setup, report
+   rendering), so every field access holds [catalog_lock]; span ids
+   start at 1 ([f_span = 0] marks a free frame below). *)
+
+type catalog = { mutable spans : t list; mutable next_span_id : int }
+
+let catalog_lock = Mutex.create ()
+let catalog = { spans = []; next_span_id = 0 }
+
+let spans () = Mutex.protect catalog_lock (fun () -> catalog.spans)
+
+let reset () =
+  Mutex.protect catalog_lock (fun () ->
+      (* Toplevel handles registered at module init live in
+         [Metrics.default] and cannot re-register; scoped-registry
+         spans (bench micros, tests) are dropped with their registry. *)
+      catalog.spans <-
+        List.filter (fun t -> t.sp_registry == Metrics.default) catalog.spans)
 
 let register ?(registry = Metrics.default) sp_name =
-  match
-    List.find_opt
-      (fun t -> t.sp_registry == registry && String.equal t.sp_name sp_name)
-      !all
-  with
-  | Some t -> t
-  | None ->
-      let counter name =
-        Metrics.counter ~registry ~subsystem:"profile" ~name ~label:sp_name ()
-      in
-      let t =
-        {
-          id =
-            (incr next_id;
-             !next_id);
-          sp_name;
-          sp_registry = registry;
-          h_span_ns =
-            Metrics.histogram ~registry ~subsystem:"profile" ~name:"span_ns"
-              ~label:sp_name ();
-          c_self_ns = counter "self_ns";
-          c_minor = counter "minor_words";
-          c_promoted = counter "promoted_words";
-          c_major = counter "major_words";
-          c_minor_coll = counter "minor_collections";
-          c_major_coll = counter "major_collections";
-        }
-      in
-      all := t :: !all;
-      t
+  Mutex.protect catalog_lock (fun () ->
+      match
+        List.find_opt
+          (fun t -> t.sp_registry == registry && String.equal t.sp_name sp_name)
+          catalog.spans
+      with
+      | Some t -> t
+      | None ->
+          let counter name =
+            Metrics.counter ~registry ~subsystem:"profile" ~name ~label:sp_name
+              ()
+          in
+          catalog.next_span_id <- catalog.next_span_id + 1;
+          let t =
+            {
+              id = catalog.next_span_id;
+              sp_name;
+              sp_registry = registry;
+              h_span_ns =
+                Metrics.histogram ~registry ~subsystem:"profile" ~name:"span_ns"
+                  ~label:sp_name ();
+              c_self_ns = counter "self_ns";
+              c_minor = counter "minor_words";
+              c_promoted = counter "promoted_words";
+              c_major = counter "major_words";
+              c_minor_coll = counter "minor_collections";
+              c_major_coll = counter "major_collections";
+            }
+          in
+          catalog.spans <- t :: catalog.spans;
+          t)
 
 (* ---- frame stack ----
 
@@ -131,13 +155,13 @@ let frames =
       })
 
 let depth = ref 0
-let on = ref false
+let on = Atomic.make false
 
 let set_enabled v =
-  on := v;
+  Atomic.set on v;
   depth := 0
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let enter_enabled t =
   if !depth < max_depth then begin
@@ -157,16 +181,16 @@ let enter_enabled t =
     f.f_major_coll0 <- st.Gc.major_collections;
     f.f_minor0 <- minor_words_net ();
     (* clock last: the span window excludes the bookkeeping above *)
-    f.f_t0 <- !clock ()
+    f.f_t0 <- (Atomic.get clock) ()
   end
 
-let[@inline] enter t = if !on then enter_enabled t
+let[@inline] enter t = if Atomic.get on then enter_enabled t
 
 let[@inline] pos n = if n < 0 then 0 else n
 
 let exit_enabled t =
   (* clock first: the span window excludes the bookkeeping below *)
-  let now = !clock () in
+  let now = (Atomic.get clock) () in
   let rec find i =
     if i < 0 then -1 else if frames.(i).f_span = t.id then i else find (i - 1)
   in
@@ -204,7 +228,7 @@ let exit_enabled t =
     end
   end
 
-let[@inline] exit t = if !on then exit_enabled t
+let[@inline] exit t = if Atomic.get on then exit_enabled t
 
 let with_span t f =
   enter t;
@@ -257,7 +281,7 @@ let summary ?(registry = Metrics.default) () =
             r_major_collections = Metrics.Counter.value t.c_major_coll;
           }
       else None)
-    !all
+    (spans ())
   |> sort_rows
 
 (* Rebuild rows from the exported snapshot shape (Export.json_of_snapshot):

@@ -42,6 +42,13 @@ val register : ?registry:Metrics.registry -> string -> t
 
 val name : t -> string
 
+val reset : unit -> unit
+(** Drop every span registered against a non-default registry from the
+    process-wide catalog. Toplevel handles (registered at module init
+    into {!Metrics.default}) are kept — they cannot re-register.
+    Bench and test setup call this so scoped-registry spans do not
+    accumulate across runs. *)
+
 val set_enabled : bool -> unit
 (** Enables/disables all spans process-wide and resets the open-frame
     stack (any spans open at the flip are abandoned, recording

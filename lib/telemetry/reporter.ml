@@ -1,10 +1,10 @@
 module Time = Planck_util.Time
 
-let clock : (unit -> Time.t) option ref = ref None
-let set_clock c = clock := c
+let clock : (unit -> Time.t) option Atomic.t = Atomic.make None
+let set_clock c = Atomic.set clock c
 
 let now_str () =
-  match !clock with
+  match Atomic.get clock with
   | None -> "--"
   | Some c -> Time.to_string (c ())
 
@@ -30,7 +30,8 @@ let reporter () =
   in
   { Logs.report }
 
-let install ?level () =
+let install ?level ?clock:c () =
+  (match c with None -> () | Some c -> set_clock c);
   Logs.set_reporter (reporter ());
   match level with None -> () | Some l -> Logs.set_level l
 

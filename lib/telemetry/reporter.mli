@@ -14,9 +14,13 @@ val set_clock : (unit -> Time.t) option -> unit
 (** Install (or clear) the simulated-time source. With no clock, the
     prefix shows ["--"]. *)
 
-val install : ?level:Logs.level option -> unit -> unit
+val install :
+  ?level:Logs.level option -> ?clock:(unit -> Time.t) option -> unit -> unit
 (** Set the process-wide reporter (messages go to stderr) and, if
-    [level] is given, the global log level. *)
+    [level] is given, the global log level. [clock] (when passed)
+    installs the timestamp source in the same call — equivalent to
+    {!set_clock} — so callers that own the clock never touch the
+    module-level state separately. *)
 
 val level_of_string : string -> (Logs.level option, string) result
 (** Parse ["off"|"error"|"warning"|"info"|"debug"] (also accepts

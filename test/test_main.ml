@@ -25,4 +25,5 @@ let () =
       ("smoke", Test_smoke.tests);
       ("lint", Test_lint.tests);
       ("lint-deep", Test_lint_deep.tests);
+      ("lint-domain", Test_lint_domain.tests);
     ]

@@ -193,20 +193,44 @@ let test_render () =
     "empty report says how to get one" true
     (contains ~needle:"--profile" (Profile.render []))
 
+let test_reset_drops_scoped_spans () =
+  let registry = Metrics.create ~enabled:true () in
+  let scoped = Profile.register ~registry "resettable" in
+  with_fake_clock (fun () ->
+      now := 0;
+      Profile.enter scoped;
+      now := 10;
+      Profile.exit scoped);
+  Alcotest.(check int)
+    "scoped span visible before reset" 1
+    (List.length (Profile.summary ~registry ()));
+  Profile.reset ();
+  Alcotest.(check int)
+    "scoped span dropped by reset" 0
+    (List.length (Profile.summary ~registry ()));
+  Alcotest.(check bool)
+    "default-registry toplevel handles survive reset" true
+    (Profile.register "reset-survivor" == Profile.register "reset-survivor")
+
+(* Setup: clear scoped-registry spans leaked by any earlier test before
+   this one registers its own, so test order never matters. *)
+let test_case name speed f =
+  Alcotest.test_case name speed (fun () ->
+      Profile.reset ();
+      f ())
+
 let tests =
   [
-    Alcotest.test_case "nested spans attribute self time" `Quick
-      test_nested_self_time;
-    Alcotest.test_case "with_span brackets and returns" `Quick test_with_span;
-    Alcotest.test_case "exception unwinds abandoned frames" `Quick
-      test_exception_unwind;
-    Alcotest.test_case "frame-stack overflow is safe" `Quick
-      test_depth_overflow;
-    Alcotest.test_case "disabled path records and allocates nothing" `Quick
+    test_case "nested spans attribute self time" `Quick test_nested_self_time;
+    test_case "reset drops scoped-registry spans" `Quick
+      test_reset_drops_scoped_spans;
+    test_case "with_span brackets and returns" `Quick test_with_span;
+    test_case "exception unwinds abandoned frames" `Quick test_exception_unwind;
+    test_case "frame-stack overflow is safe" `Quick test_depth_overflow;
+    test_case "disabled path records and allocates nothing" `Quick
       test_disabled_records_nothing;
-    Alcotest.test_case "rows round-trip via metrics JSON" `Quick
+    test_case "rows round-trip via metrics JSON" `Quick
       test_rows_from_metrics_json;
-    Alcotest.test_case "non-snapshot JSON rejected" `Quick
-      test_rows_rejects_non_snapshot;
-    Alcotest.test_case "render report" `Quick test_render;
+    test_case "non-snapshot JSON rejected" `Quick test_rows_rejects_non_snapshot;
+    test_case "render report" `Quick test_render;
   ]

@@ -29,6 +29,7 @@ let () =
   let cmt_dirs = ref [] in
   let baseline = ref "" in
   let dead_export = ref true in
+  let shared_state_out = ref "" in
   let paths = ref [] in
   let check_rule flag r =
     if not (Rules.is_known r) then begin
@@ -62,6 +63,10 @@ let () =
       ( "--no-dead-export",
         Arg.Clear dead_export,
         " skip the dead-export analysis (for partial cmt sets)" );
+      ( "--shared-state-out",
+        Arg.Set_string shared_state_out,
+        "FILE write the shard-confinement inventory to FILE (.json for \
+         the machine-readable artifact, else the committed text format)" );
     ]
   in
   let usage = "planck_lint [options] PATH..." in
@@ -95,6 +100,8 @@ let () =
           Engine.cmt_dirs = dirs;
           baseline_file;
           dead_export = !dead_export;
+          shared_state_out =
+            (if !shared_state_out = "" then None else Some !shared_state_out);
         }
   in
   let result =

@@ -39,6 +39,16 @@ type ty_shape =
 
 type source_kind = Wall_clock | Ambient_random | Hashtbl_iter
 
+type mutability = Mut_none | Mut_atomic | Mut_yes
+
+let mut_join a b =
+  match (a, b) with
+  | Mut_yes, _ | _, Mut_yes -> Mut_yes
+  | Mut_atomic, _ | _, Mut_atomic -> Mut_atomic
+  | Mut_none, Mut_none -> Mut_none
+
+type ref_op = Rread | Rwrite | Rrmw
+
 type event_kind =
   | Poly_fun of { op : string; shape : ty_shape; rendered : string }
       (** a polymorphic primitive used as a value or applied:
@@ -53,6 +63,9 @@ type event_kind =
   | Schedule_closure of string
       (** closure literal passed to Engine.schedule/schedule_at/every *)
   | Source of source_kind * string  (** determinism-taint source *)
+  | Ref_op of { op : ref_op; target : string }
+      (** read / write / read-modify-write of a module-level ref or
+          mutable field, by qualified binding id *)
 
 type event = {
   e_def : string;  (** enclosing def id *)
@@ -67,6 +80,30 @@ type def = { d_id : string; d_unit : string; d_file : string; d_line : int }
 
 type export = { x_id : string; x_unit : string; x_file : string; x_line : int }
 
+(* A structure-level value binding, with the typed facts the domain
+   tier classifies on: its type (kept as a Types.type_expr so
+   classification can run lazily, after every unit's type declarations
+   are loaded) and the worst mutable allocation its module-init
+   expression performs (a [ref]/[Hashtbl.create]/... outside any
+   lambda — the closure-captured-counter pattern). *)
+type raw_binding = {
+  rb_id : string;
+  rb_unit : string;
+  rb_file : string;
+  rb_line : int;
+  rb_type : Types.type_expr;
+  rb_alloc : mutability;
+}
+
+(* What the mutability analysis needs of a type declaration: whether it
+   declares a mutable field directly (records and inline ctor records),
+   the component types to recurse into, and the manifest if any. *)
+type decl_shape = {
+  ds_mutable : bool;
+  ds_subtys : Types.type_expr list;
+  ds_manifest : Types.type_expr option;
+}
+
 type t = {
   unit_files : (string, string) Hashtbl.t;  (* impl unit -> source file *)
   known_units : (string, unit) Hashtbl.t;  (* impl + intf unit names *)
@@ -76,6 +113,14 @@ type t = {
   mutable events : event list;
   mutable exports : export list;
   manifests : (string, Types.type_expr) Hashtbl.t;  (* "Unit.tyname" *)
+  decls : (string, decl_shape) Hashtbl.t;
+      (* keyed "Unit.Path.tyname" (cross-unit) AND "Unit#stamped_ident"
+         (same-unit local references); impl entries replace intf ones *)
+  mod_aliases : (string, Path.t) Hashtbl.t;
+      (* structure-level [module P = Planck_x.P] aliases, keyed
+         "Unit.P" — the lazy classifier resolves type paths through
+         them after the per-unit walking context is gone *)
+  mutable raw_bindings : raw_binding list;
   functor_used : (string, unit) Hashtbl.t;
       (* units passed to functors / included / packed: every export of
          such a unit counts as referenced (the functor sees them all) *)
@@ -91,6 +136,9 @@ let create () =
     events = [];
     exports = [];
     manifests = Hashtbl.create 256;
+    decls = Hashtbl.create 256;
+    mod_aliases = Hashtbl.create 64;
+    raw_bindings = [];
     functor_used = Hashtbl.create 16;
   }
 
@@ -324,6 +372,175 @@ let classify_op ctx ~op ty =
   | Some arg -> (classify ctx 0 arg, render_type arg)
   | None -> (TPoly, render_type ty)
 
+(* ---- Transitive type mutability (the domain tier's classifier) ----
+
+   Three-valued: [Mut_yes] when the type transitively contains a
+   mutable record field / ref / array / bytes / Hashtbl-family
+   container, [Mut_atomic] when the only mutability is behind
+   [Stdlib.Atomic.t] (or a lock), [Mut_none] otherwise. In-repo types
+   are resolved through the [decls] table, which carries implementation
+   shapes even for types an .mli exports abstract. *)
+
+let builtin_mut_yes =
+  [ "Stdlib.ref"; "Stdlib.Hashtbl.t"; "Stdlib.Queue.t"; "Stdlib.Stack.t";
+    "Stdlib.Buffer.t"; "Stdlib.Random.State.t"; "Stdlib.Weak.t";
+    "Stdlib.Dynarray.t"; "Stdlib.in_channel"; "Stdlib.out_channel";
+    "Stdlib.Format.formatter" ]
+
+let builtin_mut_atomic =
+  [ "Stdlib.Mutex.t"; "Stdlib.Condition.t"; "Stdlib.Semaphore.Counting.t";
+    "Stdlib.Semaphore.Binary.t" ]
+
+let atomic_t_names = [ "Stdlib.Atomic.t"; "CamlinternalAtomic.t" ]
+
+(* The canonical decl key tells us which unit owns the declaration's
+   component types, so same-unit local type references inside them
+   resolve against the right stamp namespace. *)
+let decl_owner key =
+  match String.index_opt key '#' with
+  | Some i -> String.sub key 0 i
+  | None -> (
+      match String.index_opt key '.' with
+      | Some i -> String.sub key 0 i
+      | None -> key)
+
+let rec find_decl_flat t ~unit_name fuel (head, comps) =
+  if fuel <= 0 then None
+  else if Ident.persistent head || Ident.global head then
+    match normalize_unit t (Ident.name head) comps with
+    | TDef id -> Option.map (fun s -> (id, s)) (Hashtbl.find_opt t.decls id)
+    | TExtern _ | TNone -> None
+  else
+    let stamp_key = unit_name ^ "#" ^ Ident.unique_name head in
+    match (comps, Hashtbl.find_opt t.decls stamp_key) with
+    | [], Some s -> Some (stamp_key, s)
+    | _ -> (
+        let qkey =
+          unit_name ^ "." ^ String.concat "." (Ident.name head :: comps)
+        in
+        match Hashtbl.find_opt t.decls qkey with
+        | Some s -> Some (qkey, s)
+        | None -> (
+            (* a local [module P = ...] alias head: chase the alias *)
+            match
+              Hashtbl.find_opt t.mod_aliases
+                (unit_name ^ "." ^ Ident.name head)
+            with
+            | Some p when comps <> [] ->
+                let head', comps' = flatten_path p [] in
+                find_decl_flat t ~unit_name (fuel - 1) (head', comps' @ comps)
+            | _ -> None))
+
+let find_decl t ~unit_name p = find_decl_flat t ~unit_name 8 (flatten_path p [])
+
+let rec type_mut t ~unit_name visited depth ty =
+  if depth > 20 then Mut_none
+  else
+    let recurse owner ty' = type_mut t ~unit_name:owner visited (depth + 1) ty' in
+    match Types.get_desc ty with
+    | Types.Ttuple tys ->
+        List.fold_left
+          (fun acc ty' -> mut_join acc (recurse unit_name ty'))
+          Mut_none tys
+    | Types.Tpoly (ty', _) -> recurse unit_name ty'
+    | Types.Tconstr (p, args, _) ->
+        if
+          Path.same p Predef.path_int || Path.same p Predef.path_char
+          || Path.same p Predef.path_bool
+          || Path.same p Predef.path_unit
+          || Path.same p Predef.path_float
+          || Path.same p Predef.path_string
+          || Path.same p Predef.path_int32
+          || Path.same p Predef.path_int64
+          || Path.same p Predef.path_nativeint
+          || Path.same p Predef.path_exn
+        then Mut_none
+        else if
+          Path.same p Predef.path_array
+          || Path.same p Predef.path_bytes
+          || Path.same p Predef.path_floatarray
+          || Path.same p Predef.path_lazy_t
+        then Mut_yes
+        else
+          let join_args () =
+            List.fold_left
+              (fun acc a -> mut_join acc (recurse unit_name a))
+              Mut_none args
+          in
+          let head, comps = flatten_path p [] in
+          let extern = String.concat "." (Ident.name head :: comps) in
+          if List.mem extern builtin_mut_yes then Mut_yes
+          else if List.mem extern atomic_t_names then (
+            (* an Atomic cell of an immutable payload is atomic; an
+               Atomic holding mutable structure is still shared *)
+            match join_args () with Mut_none -> Mut_atomic | m -> m)
+          else if List.mem extern builtin_mut_atomic then Mut_atomic
+          else if suffix_matches ~pattern:"Table.t" extern then
+            (* Hashtbl.Make instances (module Table = Hashtbl.Make _):
+               the functor-generated decl lives in no typedtree *)
+            Mut_yes
+          else (
+            match find_decl t ~unit_name p with
+            | None -> join_args ()
+            | Some (key, shape) ->
+                if SS.mem key !visited then Mut_none
+                else begin
+                  visited := SS.add key !visited;
+                  let owner = decl_owner key in
+                  let base = if shape.ds_mutable then Mut_yes else Mut_none in
+                  let acc =
+                    List.fold_left
+                      (fun acc sty -> mut_join acc (recurse owner sty))
+                      base shape.ds_subtys
+                  in
+                  let acc =
+                    match shape.ds_manifest with
+                    | Some m -> mut_join acc (recurse owner m)
+                    | None -> acc
+                  in
+                  mut_join acc (join_args ())
+                end)
+    | _ -> Mut_none
+
+let type_mutability t ~unit_name ty = type_mut t ~unit_name (ref SS.empty) 0 ty
+
+let shape_of_decl (td : Typedtree.type_declaration) =
+  let tt = td.Typedtree.typ_type in
+  let of_labels lbls =
+    List.fold_left
+      (fun (m, tys) (l : Types.label_declaration) ->
+        (m || l.Types.ld_mutable = Asttypes.Mutable, l.Types.ld_type :: tys))
+      (false, []) lbls
+  in
+  let direct_mut, subtys =
+    match tt.Types.type_kind with
+    | Types.Type_record (lbls, _) -> of_labels lbls
+    | Types.Type_variant (ctors, _) ->
+        List.fold_left
+          (fun (m, tys) (c : Types.constructor_declaration) ->
+            match c.Types.cd_args with
+            | Types.Cstr_tuple args -> (m, args @ tys)
+            | Types.Cstr_record lbls ->
+                let m', tys' = of_labels lbls in
+                (m || m', tys' @ tys))
+          (false, []) ctors
+    | _ -> (false, [])
+  in
+  {
+    ds_mutable = direct_mut;
+    ds_subtys = subtys;
+    ds_manifest = tt.Types.type_manifest;
+  }
+
+let register_decl ix ~unit_name ~prefix (td : Typedtree.type_declaration) =
+  let shape = shape_of_decl td in
+  Hashtbl.replace ix.decls
+    (unit_name ^ "." ^ prefix ^ Ident.name td.Typedtree.typ_id)
+    shape;
+  Hashtbl.replace ix.decls
+    (unit_name ^ "#" ^ Ident.unique_name td.Typedtree.typ_id)
+    shape
+
 (* ---- Event recording ---- *)
 
 let record_event ctx loc kind =
@@ -394,6 +611,23 @@ let note_ident ctx p loc ty =
         record_event ctx loc (Source (Ambient_random, name));
       if any_suffix_matches hashtbl_iter_patterns name then
         record_event ctx loc (Source (Hashtbl_iter, name))
+
+let ref_op_of = function
+  | "Stdlib.!" -> Some Rread
+  | "Stdlib.:=" -> Some Rwrite
+  | "Stdlib.incr" | "Stdlib.decr" -> Some Rrmw
+  | _ -> None
+
+(* Record a ref-op event when the operand is a module-level binding of
+   an indexed unit (locals resolve to TNone and are skipped — they are
+   confined by construction). *)
+let record_ref_op ctx loc op (operand : Typedtree.expression) =
+  match operand.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> (
+      match resolve ctx p with
+      | TDef id -> record_event ctx loc (Ref_op { op; target = id })
+      | TExtern _ | TNone -> ())
+  | _ -> ()
 
 let constantish (e : Typedtree.expression) =
   match e.Typedtree.exp_desc with
@@ -483,7 +717,19 @@ let iterator ctx =
                 args
             then record_event ctx e.Typedtree.exp_loc (Schedule_closure name);
             default.Tast_iterator.expr sub e
+        | Some name when ref_op_of name <> None ->
+            (match (ref_op_of name, args) with
+            | Some op, (_, Some operand) :: _ ->
+                record_ref_op ctx e.Typedtree.exp_loc op operand
+            | _ -> ());
+            default.Tast_iterator.expr sub e
         | _ -> default.Tast_iterator.expr sub e)
+    | Typedtree.Texp_field (obj, _, _) ->
+        record_ref_op ctx e.Typedtree.exp_loc Rread obj;
+        default.Tast_iterator.expr sub e
+    | Typedtree.Texp_setfield (obj, _, _, _) ->
+        record_ref_op ctx e.Typedtree.exp_loc Rwrite obj;
+        default.Tast_iterator.expr sub e
     | Typedtree.Texp_pack me ->
         mark_functor_arg ctx me;
         default.Tast_iterator.expr sub e
@@ -511,6 +757,57 @@ let with_def ctx d_id f =
   ctx.cur_def <- d_id;
   f ();
   ctx.cur_def <- saved
+
+(* ---- Module-init allocation scan ----
+
+   Does the right-hand side of a structure-level binding allocate a
+   mutable cell when the module initialises? The scan does NOT descend
+   into lambdas (those allocate per call, not per module) — so it
+   catches exactly the closure-captured pattern
+   [let next_id = let c = ref 0 in fun () -> ...] where the binding's
+   own type (an arrow) says nothing about the hidden state. *)
+
+let alloc_makers_mut =
+  [ "Stdlib.ref"; "Stdlib.Hashtbl.create"; "Stdlib.Queue.create";
+    "Stdlib.Stack.create"; "Stdlib.Buffer.create"; "Stdlib.Bytes.create";
+    "Stdlib.Bytes.make"; "Stdlib.Array.make"; "Stdlib.Array.init";
+    "Stdlib.Array.create_float"; "Stdlib.Array.copy"; "Stdlib.Array.append";
+    "Stdlib.Array.of_list"; "Stdlib.Random.State.make"; "Stdlib.Lazy.from_fun" ]
+
+let alloc_makers_atomic = [ "Stdlib.Atomic.make" ]
+
+let init_alloc_scan ctx (e0 : Typedtree.expression) =
+  let acc = ref Mut_none in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_function _ -> ()
+    | Typedtree.Texp_apply (fn, _) ->
+        (match fn.Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            match target_name (resolve ctx p) with
+            | Some name when List.mem name alloc_makers_mut ->
+                acc := mut_join !acc Mut_yes
+            | Some name when List.mem name alloc_makers_atomic ->
+                acc := mut_join !acc Mut_atomic
+            | _ -> ())
+        | _ -> ());
+        default.Tast_iterator.expr sub e
+    | Typedtree.Texp_record { fields; _ } ->
+        Array.iter
+          (fun ((ld : Types.label_description), _) ->
+            if ld.Types.lbl_mut = Asttypes.Mutable then
+              acc := mut_join !acc Mut_yes)
+          fields;
+        default.Tast_iterator.expr sub e
+    | Typedtree.Texp_array _ ->
+        acc := mut_join !acc Mut_yes;
+        default.Tast_iterator.expr sub e
+    | _ -> default.Tast_iterator.expr sub e
+  in
+  let it = { default with Tast_iterator.expr } in
+  it.Tast_iterator.expr it e0;
+  !acc
 
 let register_manifest ctx ~prefix (td : Typedtree.type_declaration) =
   match (td.Typedtree.typ_manifest, td.Typedtree.typ_params) with
@@ -550,6 +847,23 @@ and walk_item ctx prefix (item : Typedtree.structure_item) it =
           vbs
       in
       List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          let alloc = init_alloc_scan ctx vb.Typedtree.vb_expr in
+          List.iter
+            (fun (id, (sloc : string Location.loc), ty) ->
+              ctx.ix.raw_bindings <-
+                {
+                  rb_id = ctx.unit_name ^ "." ^ prefix ^ Ident.name id;
+                  rb_unit = ctx.unit_name;
+                  rb_file = ctx.file;
+                  rb_line = sloc.Location.loc.Location.loc_start.Lexing.pos_lnum;
+                  rb_type = ty;
+                  rb_alloc = alloc;
+                }
+                :: ctx.ix.raw_bindings)
+            (Typedtree.pat_bound_idents_full vb.Typedtree.vb_pat))
+        vbs;
+      List.iter
         (fun ((vb : Typedtree.value_binding), d_id) ->
           with_def ctx d_id (fun () ->
               it.Tast_iterator.expr it vb.Typedtree.vb_expr))
@@ -559,7 +873,8 @@ and walk_item ctx prefix (item : Typedtree.structure_item) it =
         (ctx.unit_name ^ "." ^ prefix ^ "(init)")
         (fun () -> it.Tast_iterator.expr it e)
   | Typedtree.Tstr_type (_, tds) ->
-      List.iter (register_manifest ctx ~prefix) tds
+      List.iter (register_manifest ctx ~prefix) tds;
+      List.iter (register_decl ctx.ix ~unit_name:ctx.unit_name ~prefix) tds
   | Typedtree.Tstr_module mb -> walk_module_binding ctx prefix mb it
   | Typedtree.Tstr_recmodule mbs ->
       List.iter (fun mb -> walk_module_binding ctx prefix mb it) mbs
@@ -587,9 +902,13 @@ and walk_module_expr ctx prefix ~binder ~name (me : Typedtree.module_expr) it =
       | Some id -> ITbl.replace ctx.mods id (MLocal sub_prefix)
       | None -> ());
       walk_items ctx sub_prefix s.Typedtree.str_items it
-  | Typedtree.Tmod_ident (p, _) -> (
-      match binder with
+  | Typedtree.Tmod_ident (p, _) ->
+      (match binder with
       | Some id -> ITbl.replace ctx.mods id (MAlias p)
+      | None -> ());
+      (match name with
+      | Some n ->
+          Hashtbl.replace ctx.ix.mod_aliases (ctx.unit_name ^ "." ^ n) p
       | None -> ())
   | Typedtree.Tmod_constraint (me', _, _, _) ->
       walk_module_expr ctx prefix ~binder ~name me' it
@@ -636,6 +955,7 @@ let rec walk_sig_items t ~unit_name ~file ~prefix items =
       | Typedtree.Tsig_type (_, tds) ->
           List.iter
             (fun (td : Typedtree.type_declaration) ->
+              register_decl t ~unit_name ~prefix td;
               match (td.Typedtree.typ_manifest, td.Typedtree.typ_params) with
               | Some core, [] ->
                   Hashtbl.replace t.manifests
@@ -755,6 +1075,84 @@ let load ~dirs =
       | _ -> ())
     loaded;
   t
+
+(* ---- Classified bindings (the domain tier's inventory input) ----
+
+   Classification runs lazily, here, rather than during the walk: a
+   binding's type may reference declarations of units loaded later, so
+   the raw [Types.type_expr] is kept and resolved only once every
+   unit's decls are in the table. *)
+
+type binding = {
+  b_id : string;
+  b_unit : string;
+  b_file : string;
+  b_line : int;
+  b_arrow : bool;
+  b_type_mut : mutability;
+      (** of the binding's type; for arrows, of the final result type *)
+  b_alloc : mutability;  (** worst module-init allocation *)
+  b_rendered : string;
+}
+
+(* collapse the pretty-printer's line breaks so rendered types stay on
+   one line in messages and the committed inventory format *)
+let squeeze_ws s =
+  let buf = Buffer.create (String.length s) in
+  let prev_space = ref false in
+  String.iter
+    (fun c ->
+      let c = match c with '\n' | '\t' | '\r' -> ' ' | c -> c in
+      if c = ' ' then begin
+        if not !prev_space then Buffer.add_char buf ' ';
+        prev_space := true
+      end
+      else begin
+        prev_space := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let rec is_arrow ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tpoly (ty', _) -> is_arrow ty'
+  | _ -> false
+
+let rec final_result ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, r, _) -> final_result r
+  | Types.Tpoly (ty', _) -> final_result ty'
+  | _ -> ty
+
+let bindings t =
+  let seen = Hashtbl.create 256 in
+  let out =
+    (* raw_bindings is most-recent-first, so the first occurrence of a
+       shadowed toplevel name is the binding that survives *)
+    List.filter_map
+      (fun rb ->
+        if Hashtbl.mem seen rb.rb_id then None
+        else begin
+          Hashtbl.add seen rb.rb_id ();
+          let arrow = is_arrow rb.rb_type in
+          let mty = if arrow then final_result rb.rb_type else rb.rb_type in
+          Some
+            {
+              b_id = rb.rb_id;
+              b_unit = rb.rb_unit;
+              b_file = rb.rb_file;
+              b_line = rb.rb_line;
+              b_arrow = arrow;
+              b_type_mut = type_mutability t ~unit_name:rb.rb_unit mty;
+              b_alloc = rb.rb_alloc;
+              b_rendered = squeeze_ws (render_type rb.rb_type);
+            }
+        end)
+      t.raw_bindings
+  in
+  List.sort (fun a b -> String.compare a.b_id b.b_id) out
 
 (* ---- In-process typing, for fixtures and tests ---- *)
 

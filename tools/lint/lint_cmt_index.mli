@@ -21,6 +21,16 @@ type ty_shape =
 
 type source_kind = Wall_clock | Ambient_random | Hashtbl_iter
 
+type mutability =
+  | Mut_none  (** transitively immutable *)
+  | Mut_atomic  (** mutability only behind [Stdlib.Atomic] (or a lock) *)
+  | Mut_yes  (** contains a plain mutable field / ref / array / Hashtbl *)
+
+val mut_join : mutability -> mutability -> mutability
+(** Lattice join: [Mut_yes > Mut_atomic > Mut_none]. *)
+
+type ref_op = Rread | Rwrite | Rrmw
+
 type event_kind =
   | Poly_fun of { op : string; shape : ty_shape; rendered : string }
   | Poly_eq of {
@@ -32,6 +42,10 @@ type event_kind =
   | Alloc of string
   | Schedule_closure of string
   | Source of source_kind * string
+  | Ref_op of { op : ref_op; target : string }
+      (** [!x] / [x := e] / [incr x], or [x.f] / [x.f <- e], where [x]
+          is a module-level binding of an indexed unit ([target] is its
+          qualified id). Locals never produce these events. *)
 
 type event = {
   e_def : string;
@@ -45,6 +59,22 @@ type event = {
 type def = { d_id : string; d_unit : string; d_file : string; d_line : int }
 
 type export = { x_id : string; x_unit : string; x_file : string; x_line : int }
+
+type binding = {
+  b_id : string;  (** qualified id, e.g. ["Planck_netsim__Engine.aggregate_hw"] *)
+  b_unit : string;
+  b_file : string;
+  b_line : int;
+  b_arrow : bool;  (** the binding is a function *)
+  b_type_mut : mutability;
+      (** transitive mutability of the binding's type (for arrows: of
+          the final result type — the constructor/accessor discipline) *)
+  b_alloc : mutability;
+      (** worst mutable allocation the module-init expression performs
+          outside any lambda — catches closure-captured counters whose
+          arrow type hides the state *)
+  b_rendered : string;  (** the rendered type, for reports *)
+}
 
 type t
 
@@ -68,6 +98,13 @@ val has_file : t -> string -> bool
 
 val events : t -> event list
 val exports : t -> export list
+
+val bindings : t -> binding list
+(** Every structure-level value binding of every indexed implementation
+    unit, classified for mutability, sorted by id. Classification is
+    computed here (not during the load) so type declarations from every
+    unit — including shapes an [.mli] exports abstract — are visible. *)
+
 val find_def : t -> string -> def option
 val iter_defs : t -> (def -> unit) -> unit
 

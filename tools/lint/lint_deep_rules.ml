@@ -144,7 +144,8 @@ let event_findings t =
                      (%s); preallocate an Engine.Timer.t and reschedule it"
                     name (hot_chain t e.Ix.e_def)))
           else None
-      | Ix.Source _ -> None)
+      | Ix.Source _ -> None
+      | Ix.Ref_op _ -> None (* consumed by Lint_domain_rules *))
     (Ix.events t.ix)
 
 (* ---- dead-export ---- *)

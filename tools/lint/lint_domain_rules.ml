@@ -1,0 +1,255 @@
+(* The domain-safety / shard-confinement tier.
+
+   Input: the classified toplevel bindings of every lib/ unit
+   ([Lint_cmt_index.bindings]) plus the hot closure the deep tier
+   already computes. Each piece of module-level state lands in a
+   four-point lattice:
+
+     immutable < atomic < engine-scoped < shared-mutable
+
+   - immutable: the binding's type is transitively immutable and its
+     module-init expression allocates no mutable cell;
+   - atomic: the only mutability is behind Stdlib.Atomic (directly, or
+     captured by a closure at module init);
+   - engine-scoped: a function whose result type carries mutable
+     structure but whose module-init captures nothing mutable — the
+     constructor/accessor discipline: fresh state per call, confined to
+     whoever holds the handle;
+   - shared-mutable: a plain mutable global (ref/Hashtbl/mutable
+     record), or a closure that captured one at module init.
+
+   Three rules fire on the shared-mutable class; everything else is
+   inventory only. Like the dead-export rule, findings carry a stable
+   symbol so the committed baseline survives line churn. *)
+
+module Ix = Lint_cmt_index
+module Deep = Lint_deep_rules
+module F = Lint_finding
+
+type cls = Immutable | Atomic | Engine_scoped | Shared_mutable
+
+let class_label = function
+  | Immutable -> "immutable"
+  | Atomic -> "atomic"
+  | Engine_scoped -> "engine-scoped"
+  | Shared_mutable -> "shared-mutable"
+
+let classify (b : Ix.binding) =
+  if b.Ix.b_arrow then
+    match b.Ix.b_alloc with
+    | Ix.Mut_yes -> Some Shared_mutable (* closure captured a mutable cell *)
+    | Ix.Mut_atomic -> Some Atomic (* captured only Atomic state *)
+    | Ix.Mut_none -> (
+        match b.Ix.b_type_mut with
+        | Ix.Mut_none -> None (* a plain function — not state *)
+        | Ix.Mut_atomic | Ix.Mut_yes -> Some Engine_scoped)
+  else
+    match Ix.mut_join b.Ix.b_type_mut b.Ix.b_alloc with
+    | Ix.Mut_yes -> Some Shared_mutable
+    | Ix.Mut_atomic -> Some Atomic
+    | Ix.Mut_none -> Some Immutable
+
+type entry = {
+  e_id : string;
+  e_file : string;
+  e_line : int;
+  e_class : cls;
+  e_type : string;
+  e_hot : bool;
+}
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let in_lib (b : Ix.binding) = has_prefix "lib/" b.Ix.b_file
+
+let inventory dr =
+  let ix = Deep.index dr in
+  Ix.bindings ix
+  |> List.filter in_lib
+  |> List.filter_map (fun (b : Ix.binding) ->
+         match classify b with
+         | None -> None
+         | Some c ->
+             Some
+               {
+                 e_id = b.Ix.b_id;
+                 e_file = b.Ix.b_file;
+                 e_line = b.Ix.b_line;
+                 e_class = c;
+                 e_type = b.Ix.b_rendered;
+                 e_hot = Deep.is_hot dr b.Ix.b_id;
+               })
+
+(* ---- The three rules ---- *)
+
+let mk ~rule ~cls (e : entry) msg =
+  F.v ~rule ~severity:F.Error ~file:e.e_file ~line:e.e_line ~col:0
+    ~symbol:e.e_id ~classification:(class_label cls) msg
+
+let shared_global_findings shared =
+  List.map
+    (fun e ->
+      mk ~rule:"shared-mutable-global" ~cls:Shared_mutable e
+        (Printf.sprintf
+           "module-level mutable state `%s` (%s) is writable by every \
+            domain; confine it to an engine/handle, wrap it in Atomic, or \
+            baseline it with a justification"
+           e.e_id e.e_type))
+    shared
+
+let unsafe_reach_findings dr shared =
+  List.filter_map
+    (fun e ->
+      if not e.e_hot then None
+      else
+        Some
+          (mk ~rule:"shard-unsafe-reach" ~cls:Shared_mutable e
+             (Printf.sprintf
+                "shared-mutable `%s` is reachable from a per-packet/per-event \
+                 hot root (%s); this path runs on every shard once the \
+                 engine is sharded across domains"
+                e.e_id
+                (Deep.hot_chain dr e.e_id))))
+    shared
+
+module SS = Set.Make (String)
+
+let nonatomic_findings dr shared =
+  let shared_ids =
+    List.fold_left (fun s e -> SS.add e.e_id s) SS.empty shared
+  in
+  let by_id =
+    List.fold_left (fun m e -> (e.e_id, e) :: m) [] shared
+  in
+  (* join the ref-op events per (enclosing def, target binding): a
+     read-modify-write is an explicit incr/decr, or a read AND a write
+     of the same target inside the same def *)
+  let groups : (string * string, Ix.ref_op list * Ix.event) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (ev : Ix.event) ->
+      match ev.Ix.e_kind with
+      | Ix.Ref_op { op; target } when SS.mem target shared_ids ->
+          let key = (ev.Ix.e_def, target) in
+          let ops =
+            match Hashtbl.find_opt groups key with
+            | Some (ops, _) -> ops
+            | None -> []
+          in
+          (* the event list is newest-first, so the last replace leaves
+             the earliest occurrence as the witness location *)
+          Hashtbl.replace groups key (op :: ops, ev)
+      | _ -> ())
+    (Ix.events (Deep.index dr));
+  Hashtbl.fold
+    (fun (def, target) (ops, witness) acc ->
+      let rmw = List.mem Ix.Rrmw ops in
+      let rw = List.mem Ix.Rread ops && List.mem Ix.Rwrite ops in
+      if not (rmw || rw) then acc
+      else
+        let entry = List.assoc target by_id in
+        F.v ~rule:"nonatomic-counter" ~severity:F.Error
+          ~file:witness.Ix.e_file ~line:witness.Ix.e_line
+          ~col:witness.Ix.e_col ~symbol:target
+          ~classification:(class_label Shared_mutable)
+          (Printf.sprintf
+             "read-modify-write on shared-mutable `%s` (%s) in `%s`; a \
+              concurrent shard can interleave between the read and the \
+              write — use Atomic.fetch_and_add or a compare_and_set loop"
+             target entry.e_type def)
+        :: acc)
+    groups []
+
+let findings ?entries dr =
+  let entries = match entries with Some e -> e | None -> inventory dr in
+  let shared = List.filter (fun e -> e.e_class = Shared_mutable) entries in
+  shared_global_findings shared
+  @ unsafe_reach_findings dr shared
+  @ nonatomic_findings dr shared
+  |> List.sort F.compare_by_location
+
+(* ---- Inventory renderers ---- *)
+
+let inventory_text entries =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "# planck-lint shard-confinement inventory (generated: planck_lint \
+     --deep --shared-state-out)\n\
+     # One line per toplevel lib/ binding: <class> <symbol> -- <type> \
+     [hot]\n\
+     # Classes: immutable < atomic < engine-scoped < shared-mutable.\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s -- %s%s\n" (class_label e.e_class) e.e_id
+           e.e_type
+           (if e.e_hot then " [hot]" else "")))
+    entries;
+  Buffer.contents buf
+
+(* minimal JSON string escaping; symbols and rendered OCaml types are
+   ASCII in practice, this keeps the output valid if one is not *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let inventory_json entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"version\":1,\"shared_state\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"symbol\":\"%s\",\"class\":\"%s\",\"file\":\"%s\",\"line\":%d,\"type\":\"%s\",\"hot\":%b}"
+           (json_escape e.e_id)
+           (class_label e.e_class)
+           (json_escape e.e_file) e.e_line (json_escape e.e_type) e.e_hot))
+    entries;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* Parse a committed inventory back to (class, symbol) pairs — the
+   line-number- and type-free projection the self-check compares. *)
+let load_inventory path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let rec go acc lineno =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line -> (
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc (lineno + 1)
+            else
+              match String.index_opt line ' ' with
+              | None ->
+                  Error
+                    (Printf.sprintf "%s:%d: expected `<class> <symbol> ...`"
+                       path lineno)
+              | Some i ->
+                  let cls = String.sub line 0 i in
+                  let rest =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  let sym =
+                    match String.index_opt rest ' ' with
+                    | None -> rest
+                    | Some j -> String.sub rest 0 j
+                  in
+                  go ((cls, sym) :: acc) (lineno + 1))
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go [] 1)

@@ -1,0 +1,49 @@
+(** The domain-safety / shard-confinement tier.
+
+    Classifies every toplevel [lib/] binding into the four-point
+    lattice [immutable < atomic < engine-scoped < shared-mutable] and
+    fires three rules on the shared-mutable class:
+    [shared-mutable-global] (the state exists), [shard-unsafe-reach]
+    (it is reachable from the per-packet/per-event hot roots) and
+    [nonatomic-counter] (a read-modify-write on it). Findings carry a
+    stable symbol and the classification, so the [(rule, symbol)]
+    baseline and the JSON report both survive line churn. *)
+
+type cls = Immutable | Atomic | Engine_scoped | Shared_mutable
+
+val class_label : cls -> string
+(** ["immutable"] / ["atomic"] / ["engine-scoped"] / ["shared-mutable"]. *)
+
+val classify : Lint_cmt_index.binding -> cls option
+(** [None] for a plain function (arrow type, immutable result, no
+    module-init allocation) — not state, not inventoried. *)
+
+type entry = {
+  e_id : string;  (** qualified binding id *)
+  e_file : string;
+  e_line : int;
+  e_class : cls;
+  e_type : string;  (** rendered type *)
+  e_hot : bool;  (** in the hot-root forward closure *)
+}
+
+val inventory : Lint_deep_rules.t -> entry list
+(** Every classified toplevel binding of every [lib/] unit, sorted by
+    id. Covers 100% of toplevel mutable bindings by construction: only
+    stateless functions are excluded. *)
+
+val findings : ?entries:entry list -> Lint_deep_rules.t -> Lint_finding.t list
+(** The three rules over [entries] (computed when not supplied),
+    sorted by location. *)
+
+val inventory_text : entry list -> string
+(** The committed-file format: [<class> <symbol> -- <type> [hot]] with
+    a comment header. Line-number-free, so the file survives churn. *)
+
+val inventory_json : entry list -> string
+(** The CI-artifact format:
+    [{"version":1,"shared_state":[{symbol,class,file,line,type,hot}]}]. *)
+
+val load_inventory : string -> ((string * string) list, string) result
+(** Parse a committed inventory back to [(class, symbol)] pairs — the
+    projection the repo self-check compares against [inventory]. *)

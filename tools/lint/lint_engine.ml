@@ -89,6 +89,7 @@ let parse_error_finding ~path exn =
     col;
     message;
     symbol = "";
+    classification = "";
   }
 
 let lint_source ?(disable = []) ?(extra = []) ~path ~source () =
@@ -149,6 +150,10 @@ type deep_options = {
   cmt_dirs : string list;
   baseline_file : string option;
   dead_export : bool;
+  shared_state_out : string option;
+      (* write the shard-confinement inventory here; .json suffix
+         selects the JSON artifact format, anything else the committed
+         text format *)
 }
 
 (* Build the per-file map of deep findings for the walked file set.
@@ -167,7 +172,22 @@ let deep_findings_by_file ~deep ~walked =
       end
       else begin
         let dr = Lint_deep_rules.prepare ix in
-        let findings = Lint_deep_rules.findings ~dead_export:d.dead_export dr in
+        let domain_entries = Lint_domain_rules.inventory dr in
+        (match d.shared_state_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (if Filename.check_suffix path ".json" then
+                     Lint_domain_rules.inventory_json domain_entries
+                   else Lint_domain_rules.inventory_text domain_entries)));
+        let findings =
+          Lint_deep_rules.findings ~dead_export:d.dead_export dr
+          @ Lint_domain_rules.findings ~entries:domain_entries dr
+        in
         let entries =
           match d.baseline_file with
           | None -> []

@@ -41,6 +41,11 @@ type deep_options = {
   dead_export : bool;
       (** run the dead-export analysis — requires the cmt set to cover
           every referencing unit, or absences fabricate dead exports *)
+  shared_state_out : string option;
+      (** write the shard-confinement inventory to this path; a [.json]
+          suffix selects the machine-readable artifact format, anything
+          else the committed text format of
+          [tools/lint/shared_state.txt] *)
 }
 
 val lint_paths : ?deep:deep_options -> string list -> result

@@ -8,12 +8,14 @@ type t = {
   col : int;
   message : string;
   symbol : string;
+  classification : string;
 }
 
 let severity_label = function Error -> "error" | Warning -> "warning"
 
-let v ?(symbol = "") ~rule ~severity ~file ~line ~col message =
-  { rule; severity; file; line; col; message; symbol }
+let v ?(symbol = "") ?(classification = "") ~rule ~severity ~file ~line ~col
+    message =
+  { rule; severity; file; line; col; message; symbol; classification }
 
 let compare_by_location a b =
   match String.compare a.file b.file with

@@ -15,10 +15,16 @@ type t = {
           ["Planck_util__Ring.capacity"]); [""] for syntactic findings.
           Baseline entries match on [(rule, symbol)] so they survive
           line-number churn. *)
+  classification : string;
+      (** Shard-confinement class of the symbol for domain-tier
+          findings (["shared-mutable"], ["atomic"], ...); [""]
+          elsewhere. Carried into the JSON report as ["class"] so
+          downstream tooling need not re-parse messages. *)
 }
 
 val v :
   ?symbol:string ->
+  ?classification:string ->
   rule:string ->
   severity:severity ->
   file:string ->
@@ -26,7 +32,7 @@ val v :
   col:int ->
   string ->
   t
-(** Constructor; [symbol] defaults to [""]. *)
+(** Constructor; [symbol] and [classification] default to [""]. *)
 
 val severity_label : severity -> string
 (** ["error"] or ["warning"]. *)

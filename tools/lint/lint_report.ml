@@ -105,11 +105,12 @@ let json_of ~findings ~suppressed ~files =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"symbol\":\"%s\"}"
+           "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"symbol\":\"%s\",\"class\":\"%s\"}"
            (escape f.F.rule)
            (F.severity_label f.F.severity)
            (escape f.F.file) f.F.line f.F.col (escape f.F.message)
-           (escape f.F.symbol)))
+           (escape f.F.symbol)
+           (escape f.F.classification)))
     findings;
   Buffer.add_string buf
     (Printf.sprintf "],\"files\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}"

@@ -139,6 +139,37 @@ let catalog =
          Engine.now or a seeded Planck_util.Prng instead.";
     };
     {
+      id = "shared-mutable-global";
+      group = "domain";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a toplevel lib/ binding holds mutable state that \
+         is neither engine-scoped (reachable only through a handle) nor \
+         wrapped in Stdlib.Atomic — it will race the moment two shards run \
+         on separate domains. Confine it, convert it, or baseline it with \
+         a justification.";
+    };
+    {
+      id = "shard-unsafe-reach";
+      group = "domain";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: shared-mutable state transitively reachable from \
+         the per-packet/per-event hot roots — exactly the code that will \
+         run concurrently on every shard. The finding cites the witness \
+         chain from the hot root to the state.";
+    };
+    {
+      id = "nonatomic-counter";
+      group = "domain";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a read-modify-write (incr/decr, or := fed by ! / \
+         a mutable-field update) on shared-mutable state; a concurrent \
+         shard can interleave between the read and the write. Use \
+         Atomic.fetch_and_add or a compare_and_set loop.";
+    };
+    {
       id = "dead-export";
       group = "hygiene";
       default_severity = F.Error;
@@ -241,6 +272,7 @@ let report ctx ~loc ~rule message =
       col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
       message;
       symbol = "";
+      classification = "";
     }
     :: ctx.findings
 
@@ -539,6 +571,7 @@ let missing_mli ~path ~has_mli =
                           surface is explicit"
             (Filename.basename path) (Filename.basename path);
         symbol = "";
+        classification = "";
       };
     ]
   else []
