@@ -194,6 +194,7 @@ let test_switch_forward =
   for port = 0 to 3 do
     Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:300
       ~deliver:(fun _ -> ())
+      ()
   done;
   Switch.add_route sw (Mac.host 2) 1;
   Switch.set_mirror sw ~monitor:3 ~mirrored:[ 0; 1; 2 ];
@@ -341,6 +342,60 @@ let test_profile_enabled =
          Profile.exit profile_span_hot;
          Profile.set_enabled false))
 
+(* ---- sharded-engine speedup (wall clock, not Bechamel) ----
+
+   One k = 16 fat-tree stride workload under static routing, run on
+   the classic single-domain engine and again on 4 shard domains
+   (pod-partitioned, conservative lookahead = the 5 us core delay).
+   The row value is the dimensionless wall-clock ratio single/sharded,
+   so > 1.0 is a parallel win. It lives outside Bechamel because one
+   "iteration" is a whole experiment.
+
+   On a single-core runner the shard domains time-slice instead of
+   overlapping and the barriers are pure overhead, so the honest
+   expectation there is <= 1.0; CI therefore gates this row with a
+   wide tolerance override rather than the default band. *)
+let shard_speedup_row () =
+  let wall shards =
+    let spec =
+      {
+        Planck.Testbed.default_spec with
+        Planck.Testbed.topology = Planck.Testbed.Fat_tree { k = 16 };
+        alts = Some 1;
+        shards;
+        core_prop_delay =
+          Some Planck_topology.Fat_tree.default_core_prop_delay;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let s =
+      Planck.Experiment.run ~spec ~scheme:Planck.Scheme.Static
+        ~workload:(Planck.Experiment.Stride 8) ~size:(64 * 1024)
+        ~horizon:(Time_u.s 30) ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    if not s.Planck.Experiment.all_completed then
+      Printf.printf "  [shard-speedup-k16: %s arm left incomplete flows]\n%!"
+        (match shards with None -> "single-domain" | Some n ->
+          string_of_int n ^ "-shard");
+    wall
+  in
+  let single = wall None in
+  let sharded = wall (Some 4) in
+  let speedup = single /. sharded in
+  Printf.printf "  %-55s %10.2fx (single %.1fs / 4-shard %.1fs)\n%!"
+    "sharded engine speedup (k=16, 4 domains)" speedup single sharded;
+  {
+    Bench_gate.id = "shard-speedup-k16";
+    name = "sharded engine speedup (k=16 fat-tree, 4 domains, wall ratio)";
+    ns_per_op = Some speedup;
+  }
+
+(* Custom rows: measured by their own harness, joined into the same
+   gate row list as the Bechamel micros. *)
+let custom_rows : (string * (unit -> Bench_gate.row)) list =
+  [ ("shard-speedup-k16", shard_speedup_row) ]
+
 (* Each micro carries a stable kebab-case id — the join key the
    bench-gate (--check/--trend) matches rows on across BENCH_*.json
    generations. Display names stay human-oriented and may change;
@@ -391,18 +446,22 @@ let benchmarks =
    tell "missing" from "regressed". *)
 let run ?(only = []) () =
   Exp_common.section "Bechamel microbenchmarks (hot paths)";
-  let selected =
+  let selected, selected_custom =
     match only with
-    | [] -> benchmarks
+    | [] -> (benchmarks, custom_rows)
     | ids ->
         List.iter
           (fun id ->
-            if not (List.mem_assoc id benchmarks) then begin
+            if
+              (not (List.mem_assoc id benchmarks))
+              && not (List.mem_assoc id custom_rows)
+            then begin
               Printf.eprintf "no micro with id %s\n" id;
               exit 1
             end)
           ids;
-        List.filter (fun (id, _) -> List.mem id ids) benchmarks
+        ( List.filter (fun (id, _) -> List.mem id ids) benchmarks,
+          List.filter (fun (id, _) -> List.mem id ids) custom_rows )
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -454,3 +513,4 @@ let run ?(only = []) () =
     { Bench_gate.id; name; ns_per_op = est }
   in
   List.map run_one selected
+  @ List.map (fun (_, measure) -> measure ()) selected_custom

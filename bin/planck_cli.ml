@@ -164,7 +164,7 @@ let profile_report profile =
   end
 
 let run_experiment () workload_name scheme_name flow_table_name size_mib runs
-    seed csv metrics_out trace_out journal_out timeseries_out
+    seed shards csv metrics_out trace_out journal_out timeseries_out
     timeseries_interval_us profile =
   match
     ( parse_workload workload_name,
@@ -182,6 +182,25 @@ let run_experiment () workload_name scheme_name flow_table_name size_mib runs
         match scheme with
         | `Fabric s -> (Testbed.paper_fat_tree ~seed (), s)
         | `Optimal -> (Testbed.optimal ~seed (), Scheme.Static)
+      in
+      (* --shards: run on a Shard group. The fat-tree's agg-core links
+         get the default core delay at ANY shard count (including 1) so
+         runs stay comparable across shard counts — the delay is the
+         conservative-lookahead window, and 300 ns of edge delay would
+         make the lockstep rounds absurdly fine. *)
+      let spec =
+        match shards with
+        | None -> spec
+        | Some n ->
+            {
+              spec with
+              Testbed.shards = Some n;
+              core_prop_delay =
+                (match spec.Testbed.topology with
+                | Testbed.Fat_tree _ ->
+                    Some Planck_topology.Fat_tree.default_core_prop_delay
+                | Testbed.Single_switch _ | Testbed.Jellyfish _ -> None);
+            }
       in
       (* Stream journal events to disk as they happen: the in-memory
          ring is only a bounded tail, the NDJSON file is complete. *)
@@ -612,6 +631,20 @@ let run_cmd =
     Arg.(value & opt int 50 & info [ "size-mib" ] ~doc:"Flow size in MiB.")
   in
   let runs = Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Repetitions.") in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the simulation on $(docv) OCaml domains (one per-shard \
+             event loop, conservative-lookahead synchronization; see \
+             DESIGN.md). Requires a shard-safe scheme/workload: \
+             $(b,static) with a pair-based workload. $(b,--shards 1) \
+             runs the same event sequence on one spawned domain. On a \
+             fat-tree the agg-core links get the 5 us default core \
+             delay at any N, so shard counts stay comparable.")
+  in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"CSV output.") in
   let journal_out =
     Arg.(
@@ -642,8 +675,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload under a routing scheme")
     Term.(
       const run_experiment $ debug_arg $ workload $ scheme $ flow_table $ size
-      $ runs $ seed_arg $ csv $ metrics_out_arg $ trace_out_arg $ journal_out
-      $ timeseries_out $ timeseries_interval $ profile_arg)
+      $ runs $ seed_arg $ shards $ csv $ metrics_out_arg $ trace_out_arg
+      $ journal_out $ timeseries_out $ timeseries_interval $ profile_arg)
 
 let capture_cmd =
   let output =

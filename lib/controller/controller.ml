@@ -1,6 +1,7 @@
 module Rate = Planck_util.Rate
 module Prng = Planck_util.Prng
 module Engine = Planck_netsim.Engine
+module Switch = Planck_netsim.Switch
 module Routing = Planck_topology.Routing
 module Fabric = Planck_topology.Fabric
 module Control_channel = Planck_openflow.Control_channel
@@ -27,9 +28,14 @@ let create engine ~routing ~link_rate ?channel_config ?collector_config ~prng
         match Fabric.monitor_port fabric ~switch with
         | None -> None
         | Some _ ->
+            (* Collector placement follows the shard assignment: the
+               sink must process samples on the engine that owns the
+               switch's monitor port (identical to [engine] when the
+               fabric is unsharded). *)
             let collector =
-              Collector.create engine ~switch ~routing ~link_rate
-                ?config:collector_config ()
+              Collector.create
+                (Switch.engine (Fabric.switch fabric switch))
+                ~switch ~routing ~link_rate ?config:collector_config ()
             in
             Collector.attach collector;
             Some (switch, collector))

@@ -2,6 +2,8 @@ module Time = Planck_util.Time
 module Prng = Planck_util.Prng
 module Stats = Planck_util.Stats
 module Fat_tree = Planck_topology.Fat_tree
+module Fabric = Planck_topology.Fabric
+module Shard = Planck_netsim.Shard
 module Generate = Planck_workloads.Generate
 module Runner = Planck_workloads.Runner
 module Engine = Planck_netsim.Engine
@@ -90,6 +92,10 @@ let run ~spec ~scheme ~workload ~size ?(flow_table = Scheme.Exact) ?horizon
   let flows, host_done =
     match workload with
     | Shuffle { concurrency } ->
+        if Option.is_some testbed.Testbed.shard then
+          invalid_arg
+            "Experiment.run: shuffle starts flows mid-run from completion \
+             callbacks; it is not shard-aware";
         let result =
           Runner.run_shuffle testbed.Testbed.engine
             ~endpoints:testbed.Testbed.endpoints
@@ -100,6 +106,10 @@ let run ~spec ~scheme ~workload ~size ?(flow_table = Scheme.Exact) ?horizon
         in
         (result.Runner.flows, Some result.Runner.host_done)
     | Churn churn_spec ->
+        if Option.is_some testbed.Testbed.shard then
+          invalid_arg
+            "Experiment.run: churn schedules launches on the reference \
+             engine only; it is not shard-aware";
         (* flow sizes come from the churn spec; [size] is unused *)
         let arrivals =
           Generate.churn wl_prng
@@ -110,12 +120,31 @@ let run ~spec ~scheme ~workload ~size ?(flow_table = Scheme.Exact) ?horizon
             ~endpoints:testbed.Testbed.endpoints ~arrivals ?on_flow ?horizon
             (),
           None )
-    | Stride _ | Random_bijection | Random | Staggered_prob _ ->
+    | Stride _ | Random_bijection | Random | Staggered_prob _ -> (
         let pairs = pairs_for testbed workload wl_prng in
-        ( Runner.run_pairs testbed.Testbed.engine
-            ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?on_flow
-            ?horizon (),
-          None )
+        match testbed.Testbed.shard with
+        | None ->
+            ( Runner.run_pairs testbed.Testbed.engine
+                ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?on_flow
+                ?horizon (),
+              None )
+        | Some group ->
+            if Shard.shards group > 1 && Option.is_some on_flow then
+              invalid_arg
+                "Experiment.run: flow observers (timeseries/trace) read \
+                 remote shards; they need --shards 1";
+            let fabric = testbed.Testbed.fabric in
+            let flows =
+              Runner.run_pairs_sharded group
+                ~shard_of_src:(Fabric.shard_of_host fabric)
+                ~endpoints:testbed.Testbed.endpoints ~pairs ~size ?on_flow
+                ?horizon ()
+            in
+            (* Deterministic journal merge before the run_end marker so
+               the merged stream reads exactly like a single-domain
+               run's. *)
+            Shard.merge_journals group ~into:Journal.default;
+            (flows, None))
   in
   let summary =
     {

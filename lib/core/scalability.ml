@@ -32,6 +32,44 @@ let jellyfish_plan ~ports ~hosts_per_switch ~hosts =
     invalid_arg "Scalability.jellyfish_plan: bad hosts_per_switch";
   plan ~hosts ~switches:(ceil_div hosts hosts_per_switch)
 
+type shard_plan = {
+  shards : int;
+  switches_per_shard : int array;
+  hosts_per_shard : int array;
+  collector_servers_per_shard : int array;
+  imbalance_pct : float;
+}
+
+(* Contiguous near-equal blocks, the same [i * shards / n] assignment
+   Partition uses: shard [s] holds the items [i] with
+   [ceil (s*n/shards) <= i < ceil ((s+1)*n/shards)]. *)
+let block_counts ~n ~shards =
+  Array.init shards (fun s ->
+      ceil_div ((s + 1) * n) shards - ceil_div (s * n) shards)
+
+let shard_plan p ~shards =
+  if shards < 1 then
+    invalid_arg "Scalability.shard_plan: shards must be >= 1";
+  let switches_per_shard = block_counts ~n:p.switches ~shards in
+  let hosts_per_shard = block_counts ~n:p.hosts ~shards in
+  let collector_servers_per_shard =
+    Array.map (fun s -> ceil_div s collectors_per_server) switches_per_shard
+  in
+  let mean = float_of_int p.hosts /. float_of_int shards in
+  let imbalance_pct =
+    if mean <= 0.0 then 0.0
+    else
+      let worst = Array.fold_left max 0 hosts_per_shard in
+      100.0 *. ((float_of_int worst /. mean) -. 1.0)
+  in
+  {
+    shards;
+    switches_per_shard;
+    hosts_per_shard;
+    collector_servers_per_shard;
+    imbalance_pct;
+  }
+
 let monitor_port_host_cost ~fat_tree_k =
   (* Freeing the monitor port adds one usable port per switch. On a
      fat-tree, keeping the up:down ratio means half of the freed edge

@@ -31,6 +31,25 @@ val jellyfish_plan : ports:int -> hosts_per_switch:int -> hosts:int -> plan
     The paper's full-bisection sizing for 64-port switches uses 17
     hosts per switch. *)
 
+type shard_plan = {
+  shards : int;
+  switches_per_shard : int array;
+  hosts_per_shard : int array;
+  collector_servers_per_shard : int array;
+      (** [ceil (switches / 14)] per shard — collectors follow their
+          switch's shard, so each shard's collector servers are sized
+          from its own switch count. *)
+  imbalance_pct : float;
+      (** Overfill of the fullest shard: [100 * (max hosts / mean - 1)].
+          0 when hosts divide evenly. *)
+}
+
+val shard_plan : plan -> shards:int -> shard_plan
+(** Split a deployment plan over [shards] simulation shards using the
+    same contiguous near-equal blocks as [Partition] ([i * shards / n]),
+    so block sizes differ by at most one. Raises [Invalid_argument] if
+    [shards < 1]. *)
+
 val monitor_port_host_cost : fat_tree_k:int -> float * float
 (** [(fat_tree_pct, jellyfish_pct)]: fraction of hosts given up by
     reserving a monitor port, for the same number of switches. The

@@ -53,6 +53,17 @@ type deployed = {
 }
 
 let deploy ?(flow_table = Exact) (testbed : Testbed.t) scheme =
+  (* The control planes (controller, pollers, control channel) are
+     built on the reference engine and read collector state across the
+     whole fabric, so they only compose with sharding when everything
+     lives on shard 0. *)
+  (match (testbed.Testbed.shard, scheme) with
+  | Some g, (Planck_te _ | Poll _ | Sflow_te _)
+    when Planck_netsim.Shard.shards g > 1 ->
+      invalid_arg
+        "Scheme.deploy: control-plane schemes are single-shard; run them \
+         with --shards 1 (or use the static scheme)"
+  | _ -> ());
   match scheme with
   | Static ->
       { scheme; controller = None; te = None; poller = None; sflow_te = None }

@@ -9,6 +9,8 @@ module Routing = Planck_topology.Routing
 module Fat_tree = Planck_topology.Fat_tree
 module Single_switch = Planck_topology.Single_switch
 module Jellyfish = Planck_topology.Jellyfish
+module Partition = Planck_topology.Partition
+module Shard = Planck_netsim.Shard
 module Endpoint = Planck_tcp.Endpoint
 
 type topology =
@@ -23,6 +25,8 @@ type spec = {
   switch_config : Switch.config;
   host_stack : Host.stack;
   alts : int option;
+  shards : int option;
+  core_prop_delay : Time.t option;
 }
 
 let default_spec =
@@ -33,6 +37,8 @@ let default_spec =
     switch_config = Switch.default_config;
     host_stack = Host.default_stack;
     alts = None;
+    shards = None;
+    core_prop_delay = None;
   }
 
 let paper_fat_tree ?(seed = 1) () = { default_spec with seed }
@@ -57,17 +63,44 @@ type t = {
   routing : Routing.t;
   endpoints : Endpoint.t array;
   prng : Prng.t;
+  shard : Shard.group option;
 }
 
 let create spec =
-  let engine = Engine.create () in
+  (* With [shards], every engine belongs to the shard group and
+     [engine] is shard 0's — the group's reference clock. Everything
+     below (routing, ARP, endpoints, flow starts) happens on the
+     spawning domain before [Shard.run] brings up the others, which
+     gives the shard domains a happens-before on all of it. *)
+  let group =
+    Option.map (fun n -> Shard.create ~shards:n) spec.shards
+  in
+  let engine =
+    match group with None -> Engine.create () | Some g -> Shard.engine g 0
+  in
+  let sharding_of partition =
+    Option.map
+      (fun g ->
+        {
+          Fabric.group = g;
+          shard_of_switch = partition.Partition.of_switch;
+          shard_of_host = partition.Partition.of_host;
+        })
+      group
+  in
   let prng = Prng.create ~seed:spec.seed in
   let fabric, routing =
     match spec.topology with
     | Fat_tree { k } ->
+        let sharding =
+          sharding_of
+            (Partition.fat_tree (Fat_tree.shape ~k)
+               ~shards:(Option.value spec.shards ~default:1))
+        in
         let fabric, shape =
           Fat_tree.build engine ~k ~switch_config:spec.switch_config
-            ~link_rate:spec.link_rate ~host_stack:spec.host_stack
+            ~link_rate:spec.link_rate ~host_stack:spec.host_stack ?sharding
+            ?core_prop_delay:spec.core_prop_delay
             ~prng:(Prng.split prng) ()
         in
         let alts =
@@ -80,9 +113,13 @@ let create spec =
               Fat_tree.tree_out_ports shape ~dst
                 ~core:(Fat_tree.core_for shape ~dst ~alt)) )
     | Single_switch { hosts } ->
+        let sharding =
+          sharding_of
+            (Partition.single ~shards:(Option.value spec.shards ~default:1))
+        in
         let fabric =
           Single_switch.build engine ~hosts ~switch_config:spec.switch_config
-            ~link_rate:spec.link_rate ~host_stack:spec.host_stack
+            ~link_rate:spec.link_rate ~host_stack:spec.host_stack ?sharding
             ~prng:(Prng.split prng) ()
         in
         ( fabric,
@@ -91,10 +128,15 @@ let create spec =
             ~tree_fn:(fun ~dst ~alt:_ ->
               Single_switch.tree_out_ports ~hosts ~dst) )
     | Jellyfish jf_spec ->
+        let sharding =
+          sharding_of
+            (Partition.jellyfish jf_spec
+               ~shards:(Option.value spec.shards ~default:1))
+        in
         let fabric =
           Jellyfish.build engine ~spec:jf_spec
             ~switch_config:spec.switch_config ~link_rate:spec.link_rate
-            ~host_stack:spec.host_stack ~prng:(Prng.split prng) ()
+            ~host_stack:spec.host_stack ?sharding ~prng:(Prng.split prng) ()
         in
         ( fabric,
           Routing.create fabric
@@ -112,7 +154,7 @@ let create spec =
      simulated clock (the newest testbed wins when several coexist,
      which only happens in tests). *)
   Planck_telemetry.Reporter.set_clock (Some (fun () -> Engine.now engine));
-  { spec; engine; fabric; routing; endpoints; prng }
+  { spec; engine; fabric; routing; endpoints; prng; shard = group }
 
 let host_count t = Fabric.host_count t.fabric
 let link_rate t = t.spec.link_rate

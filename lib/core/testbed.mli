@@ -21,6 +21,14 @@ type spec = {
   alts : int option;
       (** alternate routes per destination; default: all cores on a
           fat-tree, 1 on a single switch, 4 on Jellyfish *)
+  shards : int option;
+      (** run on a {!Planck_netsim.Shard} group of this many domains
+          (partitioned per {!Planck_topology.Partition}); [None] is the
+          classic single-domain engine *)
+  core_prop_delay : Planck_util.Time.t option;
+      (** fat-tree agg-core link delay override (the sharded lookahead
+          bound); applied identically at any shard count so runs stay
+          comparable *)
 }
 
 val default_spec : spec
@@ -42,6 +50,9 @@ type t = {
   routing : Planck_topology.Routing.t;
   endpoints : Planck_tcp.Endpoint.t array;
   prng : Planck_util.Prng.t;
+  shard : Planck_netsim.Shard.group option;
+      (** the shard group when [spec.shards] was set; [engine] is then
+          shard 0's engine *)
 }
 
 val create : spec -> t

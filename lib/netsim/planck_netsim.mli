@@ -13,3 +13,4 @@ module Switch = Switch
 module Host = Host
 module Sink = Sink
 module Wiring = Wiring
+module Shard = Shard

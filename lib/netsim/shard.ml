@@ -1,0 +1,200 @@
+(* Conservative-lookahead synchronization (the classic
+   Chandy-Misra-Bryant bound, specialized to lockstep windows): with
+   [W <= min cross-link prop delay], a frame transmitted during window
+   [r] cannot arrive before window [r+1] starts, so shards only need to
+   exchange frames at window boundaries.
+
+   Round protocol, per shard domain (engine clock = [t], window [W]):
+
+     publish done flag -> barrier -> stop if horizon reached or all
+     done -> drain channels -> Engine.run ~until:(t + W) -> repeat
+
+   One barrier per round. The drain is deterministic without a second
+   barrier because entries are stamped with the transmit window: a
+   shard entering round [r] pops exactly the entries stamped [< r] —
+   all present, since their producers passed the same barrier — and
+   leaves anything a fast producer already pushed for round [r] (the
+   SPSC queue makes that concurrent push safe). Done flags are
+   double-buffered by round parity so a fast shard's round [r+2] write
+   cannot race a slow shard still reading round [r]'s slot. *)
+
+module Time = Planck_util.Time
+module Spsc = Planck_util.Spsc
+module Packet = Planck_packet.Packet
+module Journal = Planck_telemetry.Journal
+
+type entry = { w : int; ts : Time.t; pkt : Packet.t }
+type chan = { q : entry Spsc.t; deliver : Packet.t -> unit }
+
+type barrier = {
+  m : Mutex.t;
+  cv : Condition.t;
+  total : int;
+  mutable count : int;
+  mutable phase : int;
+  mutable aborted : bool;
+}
+
+type group = {
+  n : int;
+  engines : Engine.t array;
+  journals : Journal.t array;
+  mutable look : Time.t option;
+  (* per-destination channels, registration order *)
+  incoming : chan list array;
+  (* per-source current window index; written only by that shard's
+     domain, read only by its handoff closures on the same domain *)
+  rounds : int array;
+  barrier : barrier;
+  (* done flags, double-buffered by round parity *)
+  flags : bool array array;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  {
+    n = shards;
+    engines =
+      Array.init shards (fun i ->
+          Engine.create ~label:(Printf.sprintf "shard%d" i) ());
+    journals = Array.init shards (fun i -> Journal.shard_journal ~shard:i);
+    look = None;
+    incoming = Array.make shards [];
+    rounds = Array.make shards 0;
+    barrier =
+      {
+        m = Mutex.create ();
+        cv = Condition.create ();
+        total = shards;
+        count = 0;
+        phase = 0;
+        aborted = false;
+      };
+    flags = [| Array.make shards false; Array.make shards false |];
+  }
+
+let shards g = g.n
+
+let check_shard g s label =
+  if s < 0 || s >= g.n then
+    invalid_arg (Printf.sprintf "Shard.%s: shard %d out of range" label s)
+
+let engine g s =
+  check_shard g s "engine";
+  g.engines.(s)
+
+let journal g s =
+  check_shard g s "journal";
+  g.journals.(s)
+
+let lookahead g = g.look
+
+let channel g ~src ~dst ~prop_delay ~deliver =
+  check_shard g src "channel";
+  check_shard g dst "channel";
+  if src = dst then invalid_arg "Shard.channel: src and dst coincide";
+  if prop_delay <= Time.zero then
+    invalid_arg "Shard.channel: prop_delay must be positive";
+  g.look <-
+    Some (match g.look with None -> prop_delay | Some l -> min l prop_delay);
+  let q = Spsc.create () in
+  g.incoming.(dst) <- g.incoming.(dst) @ [ { q; deliver } ];
+  fun ts pkt -> Spsc.push q { w = g.rounds.(src); ts; pkt }
+
+(* The window: the lookahead bound, capped at the 10 ms chunk the
+   single-domain runner uses — which also makes a group with no cross
+   links (one shard, or disconnected shards) advance in exactly the
+   single-domain chunk sequence. *)
+let window g =
+  let chunk = Time.ms 10 in
+  match g.look with None -> chunk | Some l -> min l chunk
+
+let barrier_await b =
+  Mutex.lock b.m;
+  let ok =
+    if b.aborted then false
+    else begin
+      let ph = b.phase in
+      b.count <- b.count + 1;
+      if b.count = b.total then begin
+        b.count <- 0;
+        b.phase <- ph + 1;
+        Condition.broadcast b.cv
+      end
+      else
+        while b.phase = ph && not b.aborted do
+          Condition.wait b.cv b.m
+        done;
+      not b.aborted
+    end
+  in
+  Mutex.unlock b.m;
+  ok
+
+let barrier_abort b =
+  Mutex.lock b.m;
+  b.aborted <- true;
+  Condition.broadcast b.cv;
+  Mutex.unlock b.m
+
+(* Pop every entry transmitted before round [r] and schedule its
+   arrival in this shard's wheel. Entries are popped in channel
+   registration order, then FIFO per channel — both deterministic — and
+   their timestamps are >= the shard's clock by the lookahead bound. *)
+let drain g me r =
+  let eng = g.engines.(me) in
+  List.iter
+    (fun c ->
+      let rec go () =
+        match Spsc.peek c.q with
+        | Some e when e.w < r ->
+            ignore (Spsc.pop c.q);
+            let deliver = c.deliver and pkt = e.pkt in
+            Engine.schedule_at eng ~time:e.ts (fun () -> deliver pkt);
+            go ()
+        | Some _ | None -> ()
+      in
+      go ())
+    g.incoming.(me)
+
+let shard_body g me ~horizon ~local_done =
+  Journal.set_shard_redirect (Some g.journals.(me));
+  Fun.protect
+    ~finally:(fun () -> Journal.set_shard_redirect None)
+    (fun () ->
+      let eng = g.engines.(me) in
+      let w = window g in
+      let rec loop r t =
+        g.flags.(r land 1).(me) <- local_done me;
+        if barrier_await g.barrier then begin
+          let all_done = Array.for_all Fun.id g.flags.(r land 1) in
+          if not (all_done || t >= horizon) then begin
+            drain g me r;
+            g.rounds.(me) <- r;
+            let until = min horizon (t + w) in
+            Engine.run ~until eng;
+            loop (r + 1) until
+          end
+        end
+      in
+      loop 0 Time.zero)
+
+let run g ~horizon ~local_done =
+  let doms =
+    Array.init g.n (fun me ->
+        Domain.spawn (fun () ->
+            try shard_body g me ~horizon ~local_done
+            with exn ->
+              barrier_abort g.barrier;
+              raise exn))
+  in
+  let first_exn = ref None in
+  Array.iter
+    (fun d ->
+      try Domain.join d
+      with exn -> if Option.is_none !first_exn then first_exn := Some exn)
+    doms;
+  match !first_exn with None -> () | Some exn -> raise exn
+
+let merge_journals g ~into =
+  Journal.merge_into into (List.init g.n (fun i -> (i, g.journals.(i))))

@@ -97,7 +97,7 @@ let check_port t port label =
   if port < 0 || port >= t.nports then
     invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" label port)
 
-let connect t ~port ~rate ~prop_delay ~deliver =
+let connect t ~port ~rate ~prop_delay ?handoff ~deliver () =
   check_port t port "connect";
   (match t.tx.(port) with
   | Some _ ->
@@ -124,7 +124,7 @@ let connect t ~port ~rate ~prop_delay ~deliver =
   t.tx.(port) <-
     Some
       (Txport.create t.engine ~rate ~prop_delay ~classes ?priority_class
-         ~deliver ~on_depart ())
+         ?handoff ~deliver ~on_depart ())
 
 let add_route t mac port =
   check_port t port "add_route";

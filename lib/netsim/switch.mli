@@ -81,10 +81,15 @@ val connect :
   port:int ->
   rate:Planck_util.Rate.t ->
   prop_delay:Planck_util.Time.t ->
+  ?handoff:(Planck_util.Time.t -> Planck_packet.Packet.t -> unit) ->
   deliver:(Planck_packet.Packet.t -> unit) ->
+  unit ->
   unit
 (** Attach the given peer ingress function to [port]'s transmit side.
-    Raises [Invalid_argument] if the port is already connected. *)
+    Raises [Invalid_argument] if the port is already connected.
+    [handoff] marks a cross-shard port: departures go to the shard
+    channel with their arrival time and [deliver] is never called
+    (see {!Txport.create}). *)
 
 val ingress : t -> port:int -> Planck_packet.Packet.t -> unit
 (** A frame fully arrived on [port]. This is the function to hand to the

@@ -10,6 +10,10 @@ type t = {
   priority_class : int option;
   deliver : Packet.t -> unit;
   on_depart : Packet.t -> unit;
+  (* Cross-shard links: when set, the propagation leg is the peer
+     shard's business — hand the frame and its arrival time to the
+     channel instead of the local deliveries queue. *)
+  handoff : (Time.t -> Packet.t -> unit) option;
   mutable next_class : int; (* round-robin scan position *)
   mutable busy : bool;
   mutable in_flight : Packet.t option; (* frame on the serializer *)
@@ -72,9 +76,12 @@ and on_tx_done t =
       t.tx_bytes <- t.tx_bytes + packet.Packet.wire_size;
       t.on_depart packet;
       let ready = Engine.now t.engine + t.prop_delay in
-      Queue.push (ready, packet) t.deliveries;
-      if not (Engine.Timer.pending t.delivery_timer) then
-        Engine.Timer.reschedule_at t.delivery_timer ~time:ready;
+      (match t.handoff with
+      | Some h -> h ready packet
+      | None ->
+          Queue.push (ready, packet) t.deliveries;
+          if not (Engine.Timer.pending t.delivery_timer) then
+            Engine.Timer.reschedule_at t.delivery_timer ~time:ready);
       transmit_next t
 
 let on_delivery t =
@@ -85,7 +92,7 @@ let on_delivery t =
   | Some (ready, _) -> Engine.Timer.reschedule_at t.delivery_timer ~time:ready
   | None -> ()
 
-let create engine ~rate ~prop_delay ~classes ?priority_class ~deliver
+let create engine ~rate ~prop_delay ~classes ?priority_class ?handoff ~deliver
     ~on_depart () =
   if classes <= 0 then invalid_arg "Txport.create: classes must be positive";
   (match priority_class with
@@ -101,6 +108,7 @@ let create engine ~rate ~prop_delay ~classes ?priority_class ~deliver
       priority_class;
       deliver;
       on_depart;
+      handoff;
       next_class = 0;
       busy = false;
       in_flight = None;

@@ -19,6 +19,7 @@ val create :
   prop_delay:Planck_util.Time.t ->
   classes:int ->
   ?priority_class:int ->
+  ?handoff:(Planck_util.Time.t -> Planck_packet.Packet.t -> unit) ->
   deliver:(Planck_packet.Packet.t -> unit) ->
   on_depart:(Planck_packet.Packet.t -> unit) ->
   unit ->
@@ -27,7 +28,13 @@ val create :
     [on_depart] fires locally when the last bit leaves the queue
     (buffer-release point). [priority_class], if given, is served with
     strict priority over the round-robin classes — the CoS queue the
-    paper proposes for SYN/FIN samples (§9.2). *)
+    paper proposes for SYN/FIN samples (§9.2).
+
+    [handoff], if given, makes this a cross-shard port: when the last
+    bit leaves the serializer the frame and its arrival time
+    ([now + prop_delay]) go to the handoff (a {!Shard} channel) instead
+    of the local propagation queue, and [deliver] is never called —
+    the destination shard schedules the arrival in its own wheel. *)
 
 val enqueue : t -> cls:int -> Planck_packet.Packet.t -> unit
 (** Append to sub-queue [cls] and start the serializer if idle.

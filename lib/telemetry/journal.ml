@@ -63,7 +63,37 @@ let default = create ~enabled:false ()
 let set_enabled t on = t.on <- on
 let enabled t = t.on
 
+(* ---- sharded runs ----
+
+   Under the sharded engine every domain redirects {!default} into its
+   own per-shard journal via DLS, so instrumentation points keep
+   writing [Journal.default] unchanged while each shard records into
+   private state. Correlation ids are made globally unique by basing
+   shard [s > 0] at [s lsl 40]; shard 0 keeps base 0 so a 1-shard run
+   mints the exact id sequence of the single-domain engine. *)
+
+let redirect : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Shard journals buffer the whole run (the merge happens after the
+   domains join), unlike the default journal whose writer streams as it
+   records — so they get a much deeper ring. The slot array is pointers
+   only (8 MiB per shard); events are allocated on demand. *)
+let shard_ring_capacity = 1 lsl 20
+
+let shard_journal ~shard =
+  let j = create ~capacity:shard_ring_capacity () in
+  if shard > 0 then j.corr <- shard lsl 40;
+  j
+
+let set_shard_redirect j = Domain.DLS.set redirect j
+
+let[@inline] target t =
+  if t == default then
+    match Domain.DLS.get redirect with Some j -> j | None -> t
+  else t
+
 let next_corr t =
+  let t = target t in
   t.corr <- t.corr + 1;
   t.corr
 
@@ -330,6 +360,7 @@ let of_ndjson s =
    occupancy) must guard that work with [enabled] themselves. *)
 let record t ~ts ?corr body =
   if t.on then begin
+    let t = target t in
     let ev = { ts; corr; body } in
     if Ring.is_full t.ring then begin
       ignore (Ring.pop t.ring);
@@ -343,3 +374,19 @@ let record t ~ts ?corr body =
         w (Json.to_string (event_to_json ev));
         Profile.exit sp_io
   end
+
+(* Deterministic post-run merge: stable sort on (sim-time, shard id)
+   keeps each shard's own record order for ties, so the interleaving is
+   a pure function of the simulation — and with one shard it is the
+   identity, which is what makes the 1-shard NDJSON byte-identical to
+   the single-domain engine's. Re-recording through [record] streams
+   every merged event through [dst]'s writer in that order. *)
+let merge_into dst shards =
+  List.concat_map
+    (fun (shard, j) -> List.map (fun ev -> (shard, ev)) (events j))
+    shards
+  |> List.stable_sort (fun (sa, a) (sb, b) ->
+         match Int.compare a.ts b.ts with
+         | 0 -> Int.compare sa sb
+         | c -> c)
+  |> List.iter (fun (_, ev) -> record dst ~ts:ev.ts ?corr:ev.corr ev.body)

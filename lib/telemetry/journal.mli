@@ -122,6 +122,33 @@ val clear : t -> unit
 
 val set_writer : t -> (string -> unit) option -> unit
 
+(** {2 Sharded runs}
+
+    The sharded engine gives every shard domain a private journal and
+    redirects {!default} into it through domain-local storage, so the
+    instrumentation points scattered through the stack need no changes.
+    After the domains join, {!merge_into} folds the per-shard journals
+    back into one deterministic stream. *)
+
+val shard_journal : shard:int -> t
+(** An enabled journal for shard [shard]. Correlation ids for shard
+    [s > 0] are based at [s lsl 40] so ids stay globally unique;
+    shard 0 keeps base 0, preserving the single-domain id sequence.
+    Deeper ring than {!create}'s default (2{^20} events) because the
+    whole run buffers here until the post-join merge; a run that
+    overflows it evicts its oldest events ({!evicted}). *)
+
+val set_shard_redirect : t option -> unit
+(** Install ([Some j]) or remove ([None]) the calling domain's redirect:
+    while installed, {!record} and {!next_corr} against {!default} act
+    on [j] instead. Affects only the calling domain. *)
+
+val merge_into : t -> (int * t) list -> unit
+(** [merge_into dst shards] appends every event of the [(shard id,
+    journal)] pairs into [dst], stably sorted by (sim-time, shard id) —
+    a deterministic interleaving that is the identity for one shard.
+    Events stream through [dst]'s writer as they append. *)
+
 (** {2 NDJSON codec}
 
     One event per line:

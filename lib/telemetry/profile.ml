@@ -116,7 +116,13 @@ let register ?(registry = Metrics.default) sp_name =
    All-int mutable records in a preallocated array: entering a span is
    int stores only. [f_span = 0] marks a free frame (span ids start at
    1). Child accumulators collect each nested span's inclusive totals
-   so exit can compute exclusive (self) figures. *)
+   so exit can compute exclusive (self) figures.
+
+   The stack lives in [Domain.DLS]: each domain (the main loop, or a
+   shard domain under the sharded engine) gets its own preallocated
+   frames on first use, so concurrent spans never interleave across
+   domains. The span metrics they feed are Atomic counters, so the
+   per-domain self/GC figures still aggregate into one catalog. *)
 
 let max_depth = 64
 
@@ -136,37 +142,45 @@ type frame = {
   mutable f_child_major_coll : int;
 }
 
-let frames =
-  Array.init max_depth (fun _ ->
-      {
-        f_span = 0;
-        f_t0 = 0;
-        f_minor0 = 0;
-        f_promoted0 = 0;
-        f_major0 = 0;
-        f_minor_coll0 = 0;
-        f_major_coll0 = 0;
-        f_child_ns = 0;
-        f_child_minor = 0;
-        f_child_promoted = 0;
-        f_child_major = 0;
-        f_child_minor_coll = 0;
-        f_child_major_coll = 0;
-      })
+type stack = { frames : frame array; mutable depth : int }
 
-let depth = ref 0
+let new_stack () =
+  {
+    frames =
+      Array.init max_depth (fun _ ->
+          {
+            f_span = 0;
+            f_t0 = 0;
+            f_minor0 = 0;
+            f_promoted0 = 0;
+            f_major0 = 0;
+            f_minor_coll0 = 0;
+            f_major_coll0 = 0;
+            f_child_ns = 0;
+            f_child_minor = 0;
+            f_child_promoted = 0;
+            f_child_major = 0;
+            f_child_minor_coll = 0;
+            f_child_major_coll = 0;
+          });
+    depth = 0;
+  }
+
+let stack_key : stack Domain.DLS.key = Domain.DLS.new_key new_stack
+
 let on = Atomic.make false
 
 let set_enabled v =
   Atomic.set on v;
-  depth := 0
+  (Domain.DLS.get stack_key).depth <- 0
 
 let enabled () = Atomic.get on
 
 let enter_enabled t =
-  if !depth < max_depth then begin
-    let f = frames.(!depth) in
-    incr depth;
+  let s = Domain.DLS.get stack_key in
+  if s.depth < max_depth then begin
+    let f = s.frames.(s.depth) in
+    s.depth <- s.depth + 1;
     f.f_span <- t.id;
     f.f_child_ns <- 0;
     f.f_child_minor <- 0;
@@ -191,15 +205,16 @@ let[@inline] pos n = if n < 0 then 0 else n
 let exit_enabled t =
   (* clock first: the span window excludes the bookkeeping below *)
   let now = (Atomic.get clock) () in
+  let s = Domain.DLS.get stack_key in
   let rec find i =
-    if i < 0 then -1 else if frames.(i).f_span = t.id then i else find (i - 1)
+    if i < 0 then -1 else if s.frames.(i).f_span = t.id then i else find (i - 1)
   in
-  let i = find (!depth - 1) in
+  let i = find (s.depth - 1) in
   if i >= 0 then begin
     (* Unwinding past i discards frames opened by spans that escaped by
        exception without exiting — they record nothing. *)
-    let f = frames.(i) in
-    depth := i;
+    let f = s.frames.(i) in
+    s.depth <- i;
     let minor_now = minor_words_net () in
     let st = quick_stat () in
     let total_ns = now - f.f_t0 in
@@ -218,7 +233,7 @@ let exit_enabled t =
     if i > 0 then begin
       (* Charge this span's inclusive totals to the parent's child
          accumulators so the parent's exit reports exclusive figures. *)
-      let p = frames.(i - 1) in
+      let p = s.frames.(i - 1) in
       p.f_child_ns <- p.f_child_ns + total_ns;
       p.f_child_minor <- p.f_child_minor + minor;
       p.f_child_promoted <- p.f_child_promoted + promoted;

@@ -5,12 +5,19 @@ module Engine = Planck_netsim.Engine
 module Switch = Planck_netsim.Switch
 module Host = Planck_netsim.Host
 module Wiring = Planck_netsim.Wiring
+module Shard = Planck_netsim.Shard
 
 type peer =
   | To_host of int
   | To_switch of int * int
   | To_monitor
   | Unwired
+
+type sharding = {
+  group : Shard.group;
+  shard_of_switch : int -> int;
+  shard_of_host : int -> int;
+}
 
 type t = {
   engine : Engine.t;
@@ -22,21 +29,33 @@ type t = {
   link_rate : Rate.t;
   prop_delay : Time.t;
   switch_ports : int;
+  sharding : sharding option;
 }
 
 let build engine ~switch_ports ~switch_config ~link_rate
-    ?(prop_delay = Wiring.default_prop_delay) ?host_stack ~num_switches
-    ~num_hosts ~prng () =
+    ?(prop_delay = Wiring.default_prop_delay) ?host_stack ?sharding
+    ~num_switches ~num_hosts ~prng () =
+  let switch_engine i =
+    match sharding with
+    | None -> engine
+    | Some s -> Shard.engine s.group (s.shard_of_switch i)
+  in
+  let host_engine i =
+    match sharding with
+    | None -> engine
+    | Some s -> Shard.engine s.group (s.shard_of_host i)
+  in
   let switches =
     Array.init num_switches (fun i ->
-        Switch.create engine
+        Switch.create (switch_engine i)
           ~name:(Printf.sprintf "s%d" i)
           ~ports:switch_ports ~config:switch_config
           ~prng:(Prng.split prng) ())
   in
   let hosts =
     Array.init num_hosts (fun i ->
-        Host.create engine ~id:i ?stack:host_stack ~prng:(Prng.split prng) ())
+        Host.create (host_engine i) ~id:i ?stack:host_stack
+          ~prng:(Prng.split prng) ())
   in
   {
     engine;
@@ -49,7 +68,16 @@ let build engine ~switch_ports ~switch_config ~link_rate
     link_rate;
     prop_delay;
     switch_ports;
+    sharding;
   }
+
+let shard_of_switch t sw =
+  match t.sharding with None -> 0 | Some s -> s.shard_of_switch sw
+
+let shard_of_host t h =
+  match t.sharding with None -> 0 | Some s -> s.shard_of_host h
+
+let shard_group t = Option.map (fun s -> s.group) t.sharding
 
 let check_unwired t ~switch ~port =
   match t.adjacency.(switch).(port) with
@@ -60,16 +88,44 @@ let check_unwired t ~switch ~port =
 
 let wire_host t ~host ~switch ~port =
   check_unwired t ~switch ~port;
+  if shard_of_host t host <> shard_of_switch t switch then
+    invalid_arg
+      (Printf.sprintf
+         "Fabric.wire_host: host %d (shard %d) and switch %d (shard %d) \
+          must share a shard"
+         host (shard_of_host t host) switch (shard_of_switch t switch));
   Wiring.host_to_switch t.hosts.(host) t.switches.(switch) ~port
     ~rate:t.link_rate ~prop_delay:t.prop_delay;
   t.adjacency.(switch).(port) <- To_host host;
   t.host_attach.(host) <- (switch, port)
 
-let wire_switches t ~a ~port_a ~b ~port_b =
+let wire_switches ?prop_delay t ~a ~port_a ~b ~port_b =
   check_unwired t ~switch:a ~port:port_a;
   check_unwired t ~switch:b ~port:port_b;
-  Wiring.switch_to_switch t.switches.(a) ~port_a t.switches.(b) ~port_b
-    ~rate:t.link_rate ~prop_delay:t.prop_delay;
+  let prop_delay = Option.value prop_delay ~default:t.prop_delay in
+  let cross =
+    match t.sharding with
+    | None -> None
+    | Some s ->
+        let sa = s.shard_of_switch a and sb = s.shard_of_switch b in
+        if sa = sb then None else Some (s.group, sa, sb)
+  in
+  (match cross with
+  | None ->
+      Wiring.switch_to_switch t.switches.(a) ~port_a t.switches.(b) ~port_b
+        ~rate:t.link_rate ~prop_delay
+  | Some (group, sa, sb) ->
+      let sw_a = t.switches.(a) and sw_b = t.switches.(b) in
+      let handoff_ab =
+        Shard.channel group ~src:sa ~dst:sb ~prop_delay
+          ~deliver:(fun pkt -> Switch.ingress sw_b ~port:port_b pkt)
+      in
+      let handoff_ba =
+        Shard.channel group ~src:sb ~dst:sa ~prop_delay
+          ~deliver:(fun pkt -> Switch.ingress sw_a ~port:port_a pkt)
+      in
+      Wiring.switch_to_switch_remote sw_a ~port_a sw_b ~port_b
+        ~rate:t.link_rate ~prop_delay ~handoff_ab ~handoff_ba);
   t.adjacency.(a).(port_a) <- To_switch (b, port_b);
   t.adjacency.(b).(port_b) <- To_switch (a, port_a)
 
@@ -113,7 +169,7 @@ let attach_sink t ~switch ~deliver =
            switch)
   | Some port ->
       Switch.connect t.switches.(switch) ~port ~rate:t.link_rate
-        ~prop_delay:t.prop_delay ~deliver;
+        ~prop_delay:t.prop_delay ~deliver ();
       Switch.set_mirror t.switches.(switch) ~monitor:port
         ~mirrored:(data_ports t ~switch)
 

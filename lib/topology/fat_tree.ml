@@ -48,12 +48,20 @@ let slot_of_host s h = h mod s.hosts_per_edge
    - core(c):    port p down to pod p (agg index c/(k/2))
    - monitor:    port k everywhere *)
 
-let build engine ~k ~switch_config ~link_rate ?host_stack ~prng () =
+(* Agg-core links model the longer cable runs up to the core tier — and
+   under sharding they are the only shard-crossing links (pod-granular
+   partition), so their delay is the lookahead bound. 5 µs is ~1 km of
+   fibre, a plausible core run and a workable synchronization window. *)
+let default_core_prop_delay = Planck_util.Time.us 5
+
+let build engine ~k ~switch_config ~link_rate ?host_stack ?sharding
+    ?core_prop_delay ~prng () =
   let s = shape ~k in
   let half = k / 2 in
   let fabric =
     Fabric.build engine ~switch_ports:(k + 1) ~switch_config ~link_rate
-      ?host_stack ~num_switches:s.num_switches ~num_hosts:s.num_hosts ~prng ()
+      ?host_stack ?sharding ~num_switches:s.num_switches
+      ~num_hosts:s.num_hosts ~prng ()
   in
   for pod = 0 to s.pods - 1 do
     for j = 0 to s.edges_per_pod - 1 do
@@ -74,8 +82,9 @@ let build engine ~k ~switch_config ~link_rate ?host_stack ~prng () =
     for i = 0 to s.aggs_per_pod - 1 do
       for m = 0 to half - 1 do
         let core = (i * half) + m in
-        Fabric.wire_switches fabric ~a:(agg_id s ~pod i) ~port_a:(half + m)
-          ~b:(core_id s core) ~port_b:pod
+        Fabric.wire_switches ?prop_delay:core_prop_delay fabric
+          ~a:(agg_id s ~pod i) ~port_a:(half + m) ~b:(core_id s core)
+          ~port_b:pod
       done
     done
   done;

@@ -34,17 +34,29 @@ val edge_id : shape -> pod:int -> int -> int
 val host_of : shape -> pod:int -> edge:int -> slot:int -> int
 val pod_of_host : shape -> int -> int
 
+val default_core_prop_delay : Planck_util.Time.t
+(** 5 µs — roughly a kilometre of fibre up to the core tier. Not
+    applied implicitly; callers opt in via [core_prop_delay] so a run
+    is comparable across shard counts only when they pass the same
+    value. *)
+
 val build :
   Planck_netsim.Engine.t ->
   k:int ->
   switch_config:Planck_netsim.Switch.config ->
   link_rate:Planck_util.Rate.t ->
   ?host_stack:Planck_netsim.Host.stack ->
+  ?sharding:Fabric.sharding ->
+  ?core_prop_delay:Planck_util.Time.t ->
   prng:Planck_util.Prng.t ->
   unit ->
   Fabric.t * shape
 (** Build and fully wire the fat-tree; monitor port is port [k] on
-    every switch. *)
+    every switch. [sharding] (from {!Partition.fat_tree}) spreads the
+    build over a shard group; [core_prop_delay] lengthens the agg-core
+    links (identically with or without sharding — under the pod
+    partition those are the only cross-shard links, so it sets the
+    lookahead). *)
 
 val core_for : shape -> dst:int -> alt:int -> int
 (** Core switch whose spanning tree carries alternate [alt] to host

@@ -38,14 +38,14 @@ let random_regular prng ~n ~degree =
   in
   attempt 200
 
-let build engine ~spec ~switch_config ~link_rate ?host_stack ~prng () =
+let build engine ~spec ~switch_config ~link_rate ?host_stack ?sharding ~prng () =
   let { num_switches; switch_degree; hosts_per_switch } = spec in
   if num_switches <= 1 then invalid_arg "Jellyfish: need >= 2 switches";
   if hosts_per_switch < 0 then invalid_arg "Jellyfish: negative host count";
   let ports = hosts_per_switch + switch_degree + 1 in
   let fabric =
     Fabric.build engine ~switch_ports:ports ~switch_config ~link_rate
-      ?host_stack
+      ?host_stack ?sharding
       ~num_switches
       ~num_hosts:(num_switches * hosts_per_switch)
       ~prng ()

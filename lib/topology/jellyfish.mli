@@ -19,6 +19,7 @@ val build :
   switch_config:Planck_netsim.Switch.config ->
   link_rate:Planck_util.Rate.t ->
   ?host_stack:Planck_netsim.Host.stack ->
+  ?sharding:Fabric.sharding ->
   prng:Planck_util.Prng.t ->
   unit ->
   Fabric.t

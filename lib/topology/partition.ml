@@ -1,0 +1,39 @@
+type t = {
+  shards : int;
+  of_switch : int -> int;
+  of_host : int -> int;
+}
+
+let check shards label =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Partition.%s: shards must be >= 1" label)
+
+(* [i * shards / n] assigns n items to shards in contiguous near-equal
+   blocks (block sizes differ by at most one). *)
+let block ~n ~shards i = if n = 0 then 0 else i * shards / n
+
+let fat_tree (s : Fat_tree.shape) ~shards =
+  check shards "fat_tree";
+  let shard_of_pod pod = block ~n:s.pods ~shards pod in
+  let of_switch sw =
+    if sw < s.cores then block ~n:s.cores ~shards sw
+    else if sw < s.cores + (s.pods * s.aggs_per_pod) then
+      shard_of_pod ((sw - s.cores) / s.aggs_per_pod)
+    else
+      shard_of_pod
+        ((sw - s.cores - (s.pods * s.aggs_per_pod)) / s.edges_per_pod)
+  in
+  let of_host h = shard_of_pod (Fat_tree.pod_of_host s h) in
+  { shards; of_switch; of_host }
+
+let jellyfish (j : Jellyfish.spec) ~shards =
+  check shards "jellyfish";
+  let of_switch sw = block ~n:j.num_switches ~shards sw in
+  let of_host h =
+    if j.hosts_per_switch = 0 then 0 else of_switch (h / j.hosts_per_switch)
+  in
+  { shards; of_switch; of_host }
+
+let single ~shards =
+  check shards "single";
+  { shards; of_switch = (fun _ -> 0); of_host = (fun _ -> 0) }

@@ -1,0 +1,32 @@
+(** Topology partitioners for the sharded engine: a pure assignment of
+    switches and hosts to shards, consumed by the builders (via
+    {!Fabric}'s sharding support) and by [Scalability.shard_plan].
+
+    A good partition keeps the fastest links internal: the lookahead
+    bound — and so the synchronization window — is the smallest
+    propagation delay crossing a shard boundary. *)
+
+type t = {
+  shards : int;
+  of_switch : int -> int;
+  of_host : int -> int;
+}
+
+val fat_tree : Fat_tree.shape -> shards:int -> t
+(** Pod-granular: pods map to shards in contiguous blocks (so every
+    intra-pod edge-agg link and every host uplink stays internal), and
+    core switches spread over shards in proportion. Only agg-core links
+    cross shards — exactly the tier where a real fat-tree's cable runs
+    are longest, which is why pod granularity maximizes the lookahead.
+    [shards] may exceed the pod count; the surplus shards just end up
+    empty. *)
+
+val jellyfish : Jellyfish.spec -> shards:int -> t
+(** Balanced cut fallback for an unstructured graph: contiguous
+    switch-id ranges of near-equal size, hosts following their switch.
+    Random links make no locality promises, so this only balances
+    load. *)
+
+val single : shards:int -> t
+(** Everything on shard 0 — degenerate partition for one-switch
+    topologies (the other shards stay empty). *)

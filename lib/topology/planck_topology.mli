@@ -1,6 +1,7 @@
 (** Network topologies and multipath (PAST / shadow-MAC) routing. *)
 
 module Fabric = Fabric
+module Partition = Partition
 module Fat_tree = Fat_tree
 module Single_switch = Single_switch
 module Jellyfish = Jellyfish

@@ -1,7 +1,7 @@
-let build engine ~hosts ~switch_config ~link_rate ?host_stack ~prng () =
+let build engine ~hosts ~switch_config ~link_rate ?host_stack ?sharding ~prng () =
   let fabric =
     Fabric.build engine ~switch_ports:(hosts + 1) ~switch_config ~link_rate
-      ?host_stack ~num_switches:1 ~num_hosts:hosts ~prng ()
+      ?host_stack ?sharding ~num_switches:1 ~num_hosts:hosts ~prng ()
   in
   for h = 0 to hosts - 1 do
     Fabric.wire_host fabric ~host:h ~switch:0 ~port:h

@@ -6,6 +6,7 @@ module Time = Time
 module Heap = Heap
 module Timer_wheel = Timer_wheel
 module Ring = Ring
+module Spsc = Spsc
 module Prng = Prng
 module Stats = Stats
 module Rate = Rate

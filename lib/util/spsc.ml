@@ -1,0 +1,38 @@
+(* Sentinel-node SPSC linked queue. [head] always points at a consumed
+   node whose [next] chain holds the live elements; [tail] is the last
+   node the producer linked. The producer mutates only [tail] (and the
+   old tail's [next]); the consumer mutates only [head]. Publication
+   order — payload write, then Atomic [next] store — gives the consumer
+   a happens-before edge on the payload without any lock. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { mutable head : 'a node; mutable tail : 'a node }
+
+let node value = { value; next = Atomic.make None }
+
+let create () =
+  let sentinel = node None in
+  { head = sentinel; tail = sentinel }
+
+let push t v =
+  let n = node (Some v) in
+  Atomic.set t.tail.next (Some n);
+  t.tail <- n
+
+let peek t =
+  match Atomic.get t.head.next with None -> None | Some n -> n.value
+
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+      t.head <- n;
+      n.value
+
+let rec drain t f =
+  match pop t with
+  | None -> ()
+  | Some v ->
+      f v;
+      drain t f

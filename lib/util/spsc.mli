@@ -1,0 +1,32 @@
+(** Single-producer single-consumer unbounded queue.
+
+    The cross-shard channel primitive: exactly one domain pushes and
+    exactly one domain pops. Built as a linked list with a sentinel
+    node — the producer owns the tail, the consumer owns the head, and
+    the only shared word per node is its [next] pointer, published with
+    an [Atomic] store so the payload written before the link is visible
+    to the consumer that follows it.
+
+    Both operations are wait-free; neither blocks on the other. A
+    producer may keep pushing while the consumer drains, which is
+    exactly the overlap the shard round protocol produces (shard A can
+    enter window [n] and transmit while shard B still drains window
+    [n-1] arrivals from the same channel). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Producer side only. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side only. [None] when the queue is observed empty. *)
+
+val peek : 'a t -> 'a option
+(** Consumer side only: the element {!pop} would return, without
+    consuming it. Lets the shard drain stop at the first element
+    stamped with a window it must not consume yet. *)
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** Consumer side only: pop until empty, applying [f] in FIFO order. *)

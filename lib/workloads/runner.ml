@@ -1,6 +1,7 @@
 module Time = Planck_util.Time
 module Rate = Planck_util.Rate
 module Engine = Planck_netsim.Engine
+module Shard = Planck_netsim.Shard
 module Endpoint = Planck_tcp.Endpoint
 module Flow = Planck_tcp.Flow
 
@@ -68,6 +69,36 @@ let run_pairs engine ~endpoints ~pairs ~size ?params ?on_flow
   in
   run_engine_until engine ~horizon ~all_done:(fun () ->
       List.for_all (fun (_, _, flow) -> Flow.completed flow) flows);
+  List.map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) flows
+
+(* Sharded variant of [run_pairs]: same flow starts (on the spawning
+   domain, before the shard domains exist), then the group's lockstep
+   loop instead of the single-engine chunk loop. Completion is judged
+   per shard over the flows whose *source* host lives there — a flow's
+   completion state is written by sender-side code, which runs on the
+   source host's engine. *)
+let run_pairs_sharded group ~shard_of_src ~endpoints ~pairs ~size ?params
+    ?on_flow ?(horizon = Time.s 120) () =
+  let fresh_port = port_allocator () in
+  let flows =
+    List.map
+      (fun ({ src; dst } : Generate.pair) ->
+        let flow =
+          Flow.start ~src:endpoints.(src) ~dst:endpoints.(dst)
+            ~src_port:(fresh_port ()) ~dst_port:(5_000 + dst) ~size ?params ()
+        in
+        Option.iter (fun f -> f flow) on_flow;
+        (src, dst, flow))
+      pairs
+  in
+  let by_shard = Array.make (Shard.shards group) [] in
+  List.iter
+    (fun (src, _, flow) ->
+      let s = shard_of_src src in
+      by_shard.(s) <- flow :: by_shard.(s))
+    flows;
+  Shard.run group ~horizon ~local_done:(fun s ->
+      List.for_all Flow.completed by_shard.(s));
   List.map (fun (src, dst, flow) -> result_of_flow ~src ~dst flow) flows
 
 let run_churn engine ~endpoints ~arrivals ?params ?on_flow

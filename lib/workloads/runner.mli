@@ -34,6 +34,24 @@ val run_pairs :
     sees every flow as it starts (observability hooks, e.g.
     {!Planck.Recorder.track_flow}). *)
 
+val run_pairs_sharded :
+  Planck_netsim.Shard.group ->
+  shard_of_src:(int -> int) ->
+  endpoints:Planck_tcp.Endpoint.t array ->
+  pairs:Generate.pair list ->
+  size:int ->
+  ?params:Planck_tcp.Flow.params ->
+  ?on_flow:(Planck_tcp.Flow.t -> unit) ->
+  ?horizon:Planck_util.Time.t ->
+  unit ->
+  flow_result list
+(** {!run_pairs} on a shard group: flows start on the calling domain,
+    then the group's lockstep window loop replaces the single-engine
+    chunk loop. [shard_of_src] maps a source host id to its shard
+    (i.e. [Fabric.shard_of_host]); each shard judges completion over
+    the flows sourced from it, whose state its own domain writes. With
+    one shard this runs the identical event sequence to {!run_pairs}. *)
+
 val run_churn :
   Planck_netsim.Engine.t ->
   endpoints:Planck_tcp.Endpoint.t array ->

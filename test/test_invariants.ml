@@ -16,12 +16,15 @@ let pipeline_jitter_preserves_order () =
     Switch.create e ~name:"jitter" ~ports:2 ~config:Switch.default_config ()
   in
   let seen = ref [] in
-  Switch.connect sw ~port:1 ~rate:rate_10g ~prop_delay:0 ~deliver:(fun p ->
+  Switch.connect sw ~port:1 ~rate:rate_10g ~prop_delay:0
+    ~deliver:(fun p ->
       match P.tcp_headers p with
       | Some (_, tcp) -> seen := tcp.H.Tcp.seq :: !seen
-      | None -> ());
+      | None -> ())
+    ();
   Switch.connect sw ~port:0 ~rate:rate_10g ~prop_delay:0
-    ~deliver:(fun _ -> ());
+    ~deliver:(fun _ -> ())
+    ();
   Switch.add_route sw (Mac.host 1) 1;
   (* Arrivals at exactly the 1514-byte line-rate spacing. *)
   for i = 0 to 499 do

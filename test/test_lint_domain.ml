@@ -123,6 +123,54 @@ let test_nonatomic_counter () =
     [ "Fix.raw_hits" ]
     (syms ~rule:"nonatomic-counter" (rules_findings ()))
 
+(* ---- Domain.spawn closures as shard roots ----
+
+   With the sharded engine, code reached from a [Domain.spawn] body
+   runs concurrently even if no per-packet hot root reaches it, so the
+   domain tier treats spawn callers as additional shard roots. *)
+
+let spawn_fixture =
+  {|
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let hits = Atomic.make 0
+let body () = Hashtbl.replace table 1 1; Atomic.incr hits
+let launch () = ignore (Domain.spawn body)
+|}
+
+let test_spawn_closure_is_shard_root () =
+  let ix = index_of [ ("Fix", "lib/fix/fix.ml", spawn_fixture) ] in
+  Alcotest.(check (list string))
+    "the spawn call site is detected" [ "Fix.launch" ]
+    (Dom.spawn_callers ix);
+  (* no per-packet hot roots at all: the reach finding comes purely
+     from the spawned closure *)
+  let t = Deep.prepare ~hot_roots:[] ix in
+  Alcotest.(check (list string))
+    "shared state reached from the spawned closure fires"
+    [ "Fix.table" ]
+    (syms ~rule:"shard-unsafe-reach" (Dom.findings t));
+  let closure = Dom.shard_closure t in
+  Alcotest.(check bool) "the spawned body is in the shard closure" true
+    (Planck_lint_lib.Lint_callgraph.mem closure "Fix.body")
+
+let test_no_spawn_means_no_shard_root () =
+  let src =
+    {|
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let audit () = Hashtbl.length table
+|}
+  in
+  let ix = index_of [ ("Fix", "lib/fix/fix.ml", src) ] in
+  Alcotest.(check (list string))
+    "no spawn callers in a spawn-free unit" [] (Dom.spawn_callers ix);
+  let t = Deep.prepare ~hot_roots:[] ix in
+  Alcotest.(check (list string))
+    "without roots the same state does not fire the reach rule" []
+    (syms ~rule:"shard-unsafe-reach" (Dom.findings t));
+  Alcotest.(check (list string))
+    "it still fires the global-state rule" [ "Fix.table" ]
+    (syms ~rule:"shared-mutable-global" (Dom.findings t))
+
 (* RMW on a mutable field of a *parameter* is the engine-scoped
    discipline the tier exists to encourage — no rule fires. *)
 let test_param_rmw_is_clean () =
@@ -253,6 +301,10 @@ let tests =
       test_shard_unsafe_reach;
     Alcotest.test_case "nonatomic-counter spares Atomic" `Quick
       test_nonatomic_counter;
+    Alcotest.test_case "Domain.spawn closure is a shard root" `Quick
+      test_spawn_closure_is_shard_root;
+    Alcotest.test_case "no spawn means no shard root" `Quick
+      test_no_spawn_means_no_shard_root;
     Alcotest.test_case "parameter-threaded RMW is clean" `Quick
       test_param_rmw_is_clean;
     Alcotest.test_case "baseline absorbs domain findings" `Quick

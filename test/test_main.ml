@@ -21,6 +21,7 @@ let () =
       ("baselines", Test_baselines.tests);
       ("core", Test_core.tests);
       ("invariants", Test_invariants.tests);
+      ("shard", Test_shard.tests);
       ("placement", Test_placement.tests);
       ("smoke", Test_smoke.tests);
       ("lint", Test_lint.tests);

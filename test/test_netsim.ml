@@ -291,6 +291,7 @@ let switch_pair engine =
   for port = 0 to 3 do
     Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:(Time.ns 300)
       ~deliver:(fun p -> received.(port) <- p :: received.(port))
+      ()
   done;
   (sw, received)
 
@@ -383,6 +384,7 @@ let switch_drops_when_buffer_full () =
   for port = 0 to 1 do
     Switch.connect sw ~port ~rate:(Rate.gbps 10.0) ~prop_delay:0
       ~deliver:(fun _ -> ())
+      ()
   done;
   Switch.add_route sw (Mac.host 1) 1;
   (* Slam 100 MTU frames in at one instant: the egress drains one per

@@ -389,7 +389,10 @@ let builtin_mut_yes =
 
 let builtin_mut_atomic =
   [ "Stdlib.Mutex.t"; "Stdlib.Condition.t"; "Stdlib.Semaphore.Counting.t";
-    "Stdlib.Semaphore.Binary.t" ]
+    "Stdlib.Semaphore.Binary.t";
+    (* a DLS key denotes per-domain storage: each domain sees its own
+       slot, so even a mutable payload is confined by construction *)
+    "Stdlib.Domain.DLS.key" ]
 
 let atomic_t_names = [ "Stdlib.Atomic.t"; "CamlinternalAtomic.t" ]
 

@@ -61,12 +61,14 @@ let default_hot_roots =
 type t = {
   ix : Ix.t;
   hot : Lint_callgraph.closure;
+  roots : string list;
 }
 
 let prepare ?(hot_roots = default_hot_roots) ix =
-  { ix; hot = Lint_callgraph.forward ix ~roots:hot_roots }
+  { ix; hot = Lint_callgraph.forward ix ~roots:hot_roots; roots = hot_roots }
 
 let index t = t.ix
+let roots t = t.roots
 let is_hot t id = Lint_callgraph.mem t.hot id
 let hot_set t = Lint_callgraph.elements t.hot
 let hot_chain t id = Lint_callgraph.chain_string t.hot id

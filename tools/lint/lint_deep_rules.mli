@@ -18,6 +18,11 @@ val prepare : ?hot_roots:string list -> Lint_cmt_index.t -> t
 (** Build the hot closure (forward reachability from [hot_roots]). *)
 
 val index : t -> Lint_cmt_index.t
+
+val roots : t -> string list
+(** The roots [prepare] was given (defaulted or not) — lets the domain
+    tier extend them with its own shard roots. *)
+
 val is_hot : t -> string -> bool
 val hot_set : t -> string list
 val hot_chain : t -> string -> string

@@ -25,6 +25,7 @@
 module Ix = Lint_cmt_index
 module Deep = Lint_deep_rules
 module F = Lint_finding
+module SS = Set.Make (String)
 
 type cls = Immutable | Atomic | Engine_scoped | Shared_mutable
 
@@ -63,8 +64,29 @@ let has_prefix p s =
 
 let in_lib (b : Ix.binding) = has_prefix "lib/" b.Ix.b_file
 
-let inventory dr =
+(* ---- Shard roots ----
+
+   Under the sharded engine every closure handed to Domain.spawn is a
+   per-shard entry point: the spawned body runs concurrently with the
+   other shard domains, so anything it reaches is exactly as exposed as
+   the per-packet path. The domain tier therefore seeds its
+   reachability closure with the deep tier's hot roots PLUS every def
+   that calls Domain.spawn. *)
+
+let spawn_callers ix =
+  let acc = ref [] in
+  Ix.iter_edges ix (fun caller succs ->
+      if SS.exists (Ix.suffix_matches ~pattern:"Domain.spawn") succs then
+        acc := caller :: !acc);
+  List.sort_uniq String.compare !acc
+
+let shard_closure dr =
   let ix = Deep.index dr in
+  Lint_callgraph.forward ix ~roots:(Deep.roots dr @ spawn_callers ix)
+
+let inventory ?closure dr =
+  let ix = Deep.index dr in
+  let hot = match closure with Some c -> c | None -> shard_closure dr in
   Ix.bindings ix
   |> List.filter in_lib
   |> List.filter_map (fun (b : Ix.binding) ->
@@ -78,7 +100,7 @@ let inventory dr =
                  e_line = b.Ix.b_line;
                  e_class = c;
                  e_type = b.Ix.b_rendered;
-                 e_hot = Deep.is_hot dr b.Ix.b_id;
+                 e_hot = Lint_callgraph.mem hot b.Ix.b_id;
                })
 
 (* ---- The three rules ---- *)
@@ -98,7 +120,7 @@ let shared_global_findings shared =
            e.e_id e.e_type))
     shared
 
-let unsafe_reach_findings dr shared =
+let unsafe_reach_findings hot shared =
   List.filter_map
     (fun e ->
       if not e.e_hot then None
@@ -107,13 +129,11 @@ let unsafe_reach_findings dr shared =
           (mk ~rule:"shard-unsafe-reach" ~cls:Shared_mutable e
              (Printf.sprintf
                 "shared-mutable `%s` is reachable from a per-packet/per-event \
-                 hot root (%s); this path runs on every shard once the \
-                 engine is sharded across domains"
+                 hot root or a Domain.spawn shard body (%s); this path runs \
+                 on every shard once the engine is sharded across domains"
                 e.e_id
-                (Deep.hot_chain dr e.e_id))))
+                (Lint_callgraph.chain_string hot e.e_id))))
     shared
-
-module SS = Set.Make (String)
 
 let nonatomic_findings dr shared =
   let shared_ids =
@@ -163,10 +183,13 @@ let nonatomic_findings dr shared =
     groups []
 
 let findings ?entries dr =
-  let entries = match entries with Some e -> e | None -> inventory dr in
+  let hot = shard_closure dr in
+  let entries =
+    match entries with Some e -> e | None -> inventory ~closure:hot dr
+  in
   let shared = List.filter (fun e -> e.e_class = Shared_mutable) entries in
   shared_global_findings shared
-  @ unsafe_reach_findings dr shared
+  @ unsafe_reach_findings hot shared
   @ nonatomic_findings dr shared
   |> List.sort F.compare_by_location
 

@@ -24,13 +24,22 @@ type entry = {
   e_line : int;
   e_class : cls;
   e_type : string;  (** rendered type *)
-  e_hot : bool;  (** in the hot-root forward closure *)
+  e_hot : bool;  (** in the shard-root forward closure *)
 }
 
-val inventory : Lint_deep_rules.t -> entry list
+val spawn_callers : Lint_cmt_index.t -> string list
+(** Every def with a call-graph edge to [Domain.spawn] — the defs whose
+    closures become per-shard entry points under the sharded engine. *)
+
+val shard_closure : Lint_deep_rules.t -> Lint_callgraph.closure
+(** Forward reachability from the deep tier's hot roots PLUS
+    {!spawn_callers}: everything a shard domain can run. *)
+
+val inventory : ?closure:Lint_callgraph.closure -> Lint_deep_rules.t -> entry list
 (** Every classified toplevel binding of every [lib/] unit, sorted by
     id. Covers 100% of toplevel mutable bindings by construction: only
-    stateless functions are excluded. *)
+    stateless functions are excluded. [e_hot] is membership in
+    [closure] (default {!shard_closure}). *)
 
 val findings : ?entries:entry list -> Lint_deep_rules.t -> Lint_finding.t list
 (** The three rules over [entries] (computed when not supplied),
