@@ -210,7 +210,16 @@ let enqueue t ~port ~cls ~mirror packet =
         Metrics.Gauge.set_int t.tel.tel_buffer_hw
           (Buffer_pool.shared_high_water t.buffer);
         if Journal.enabled Journal.default then note_high_water t;
-        Txport.enqueue txport ~cls packet
+        match Txport.enqueue txport ~cls packet with
+        | () -> ()
+        | exception e ->
+            (* The admitted bytes belong to the txport only once enqueue
+               returns; on the exception edge they must go back to the
+               pool or the accounting leaks them forever. *)
+            let bt = Printexc.get_raw_backtrace () in
+            Buffer_pool.release t.buffer ~port
+              ~bytes_:packet.Packet.wire_size;
+            Printexc.raise_with_backtrace e bt
       end
       else drop t ~port ~mirror
 

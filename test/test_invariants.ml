@@ -98,10 +98,46 @@ let utilization_decays_after_flows_end () =
   Alcotest.(check (float 0.01)) "idle after timeout" 0.0
     (Rate.to_gbps (Collector.link_utilization collector ~port:1))
 
+let buffer_pool_balances_after_drain () =
+  (* Ownership invariant behind the release-leak lint rule: every byte
+     try_alloc admits is owned by exactly one txport until departure
+     releases it, so a congested run that drops plenty must still
+     return the pool to zero once every queue drains. *)
+  let e = Engine.create () in
+  let config =
+    { Switch.default_config with Switch.buffer_total = 64 * 1024 }
+  in
+  let sw = Switch.create e ~name:"pool" ~ports:2 ~config () in
+  Switch.connect sw ~port:1 ~rate:(Rate.mbps 100.0) ~prop_delay:0
+    ~deliver:(fun _ -> ())
+    ();
+  Switch.connect sw ~port:0 ~rate:rate_10g ~prop_delay:0
+    ~deliver:(fun _ -> ())
+    ();
+  Switch.add_route sw (Mac.host 1) 1;
+  (* A line-rate burst into a 100 Mb/s egress: the shared buffer fills
+     and admission starts refusing. *)
+  for i = 0 to 499 do
+    Engine.schedule e ~delay:(i * 1212) (fun () ->
+        Switch.ingress sw ~port:0
+          (P.tcp ~src_mac:(Mac.host 0) ~dst_mac:(Mac.host 1)
+             ~src_ip:(Ip.host 0) ~dst_ip:(Ip.host 1) ~src_port:1 ~dst_port:2
+             ~seq:(i * 1460) ~ack_seq:0 ~flags:H.Tcp_flags.ack
+             ~payload_len:1460 ()))
+  done;
+  Alcotest.(check int) "pool starts empty" 0 (Switch.buffer_used sw);
+  Engine.run e;
+  Alcotest.(check bool) "the run was actually congested" true
+    (Switch.total_data_drops sw > 0);
+  Alcotest.(check int) "every admitted byte returned to the pool" 0
+    (Switch.buffer_used sw)
+
 let tests =
   [
     Alcotest.test_case "jitter preserves per-port order" `Quick
       pipeline_jitter_preserves_order;
+    Alcotest.test_case "buffer pool balances after drain" `Quick
+      buffer_pool_balances_after_drain;
     Alcotest.test_case "vantage ring bounded" `Quick vantage_ring_bounded;
     Alcotest.test_case "event cooldown respected" `Quick
       event_cooldown_respected;

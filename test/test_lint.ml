@@ -294,6 +294,39 @@ let test_json_escape_fixed () =
      parseable JSON (the byte is sanitised, not round-tripped). *)
   ignore (message_of_report "bad \x80 byte" : string)
 
+(* ---- --only-rule filtering ---- *)
+
+let test_only_rules_filter () =
+  let cwd = Sys.getcwd () in
+  (* a throwaway tree whose relative layout matches the repo's, so the
+     lib/-scoped rules apply *)
+  let dir = Filename.temp_file "planck_only_rule" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Sys.mkdir (Filename.concat dir "lib") 0o755;
+  Sys.mkdir (Filename.concat dir "lib/netsim") 0o755;
+  let file = Filename.concat dir "lib/netsim/clock.ml" in
+  let oc = open_out file in
+  output_string oc "let now () = Unix.gettimeofday ()\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir cwd;
+      Sys.remove file;
+      Sys.rmdir (Filename.concat dir "lib/netsim");
+      Sys.rmdir (Filename.concat dir "lib");
+      Sys.rmdir dir)
+    (fun () ->
+      Sys.chdir dir;
+      let rules r = List.map (fun f -> f.Finding.rule) r.Engine.kept in
+      let all = rules (Engine.lint_paths [ "lib" ]) in
+      Alcotest.(check bool)
+        "both rules fire unfiltered" true
+        (List.mem "wall-clock" all && List.mem "missing-mli" all);
+      Alcotest.(check (list string))
+        "--only-rule keeps just the requested rule" [ "wall-clock" ]
+        (rules (Engine.lint_paths ~only_rules:[ "wall-clock" ] [ "lib" ])))
+
 (* ---- the repo is lint-clean ---- *)
 
 let test_repo_clean () =
@@ -319,6 +352,7 @@ let test_repo_clean () =
             baseline_file = Some "tools/lint/lint_baseline.txt";
             dead_export = false;
             shared_state_out = None;
+            ownership_out = None;
           }
         in
         let r = Engine.lint_paths ~deep [ "lib" ] in
@@ -354,5 +388,7 @@ let tests =
       test_json_escape_fixed;
     QCheck_alcotest.to_alcotest json_escape_round_trip_qcheck;
     QCheck_alcotest.to_alcotest json_escape_any_bytes_qcheck;
+    Alcotest.test_case "--only-rule filters kept findings" `Quick
+      test_only_rules_filter;
     Alcotest.test_case "repo tree is lint-clean" `Quick test_repo_clean;
   ]

@@ -27,4 +27,5 @@ let () =
       ("lint", Test_lint.tests);
       ("lint-deep", Test_lint_deep.tests);
       ("lint-domain", Test_lint_domain.tests);
+      ("lint-ownership", Test_lint_ownership.tests);
     ]

@@ -42,6 +42,64 @@ let spsc_fifo () =
   Spsc.push q 7;
   Alcotest.(check (option int)) "reusable after drain" (Some 7) (Spsc.pop q)
 
+(* ---- dynamic role check (the spsc-role-confinement lint rule's
+   runtime complement: the static rule cannot tell N shard instances
+   of one shard-body def apart) ---- *)
+
+let spsc_debug_clean_path () =
+  Spsc.set_debug true;
+  Fun.protect
+    ~finally:(fun () -> Spsc.set_debug false)
+    (fun () ->
+      let q : int Spsc.t = Spsc.create () in
+      let producer =
+        Domain.spawn (fun () ->
+            for i = 1 to 50 do
+              Spsc.push q i
+            done)
+      in
+      (* main claims the consumer slot; one domain per role is legal *)
+      let seen = ref 0 in
+      while !seen < 50 do
+        match Spsc.pop q with
+        | Some v ->
+            incr seen;
+            Alcotest.(check int) "FIFO across domains" !seen v
+        | None -> Domain.cpu_relax ()
+      done;
+      Domain.join producer;
+      Alcotest.(check (option int)) "drained" None (Spsc.pop q))
+
+let spsc_debug_role_violation () =
+  Spsc.set_debug true;
+  Fun.protect
+    ~finally:(fun () -> Spsc.set_debug false)
+    (fun () ->
+      let q : int Spsc.t = Spsc.create () in
+      Spsc.push q 1;
+      (* main holds the producer slot now *)
+      let violated =
+        Domain.spawn (fun () ->
+            match Spsc.push q 2 with
+            | () -> false
+            | exception Failure _ -> true)
+      in
+      Alcotest.(check bool) "second producer domain raises" true
+        (Domain.join violated);
+      ignore (Spsc.pop q : int option);
+      (* ... and the consumer slot too *)
+      let violated =
+        Domain.spawn (fun () ->
+            match Spsc.peek q with
+            | _ -> false
+            | exception Failure _ -> true)
+      in
+      Alcotest.(check bool) "second consumer domain raises" true
+        (Domain.join violated);
+      (* the claiming domains keep working *)
+      Spsc.push q 3;
+      Alcotest.(check (option int)) "roles still usable" (Some 3) (Spsc.pop q))
+
 (* ---- Scalability.shard_plan ---- *)
 
 let sum = Array.fold_left ( + ) 0
@@ -375,6 +433,10 @@ let one_shard_byte_identity () =
 let tests =
   [
     Alcotest.test_case "spsc fifo, peek, drain" `Quick spsc_fifo;
+    Alcotest.test_case "spsc debug: clean two-domain path" `Quick
+      spsc_debug_clean_path;
+    Alcotest.test_case "spsc debug: role violation raises" `Quick
+      spsc_debug_role_violation;
     Alcotest.test_case "shard_plan splits the k=16 plan" `Quick
       shard_plan_fat_tree;
     Alcotest.test_case "shard_plan splits a jellyfish plan" `Quick

@@ -1,7 +1,7 @@
 (* planck-lint: static analysis for the Planck reproduction.
 
    Usage: planck_lint [--json] [--out FILE] [--list-rules]
-                      [--disable RULE] [--warn-only RULE]
+                      [--disable RULE] [--warn-only RULE] [--only-rule RULE]
                       [--deep] [--cmt-dir DIR] [--baseline FILE]
                       [--no-dead-export] PATH...
 
@@ -30,6 +30,8 @@ let () =
   let baseline = ref "" in
   let dead_export = ref true in
   let shared_state_out = ref "" in
+  let ownership_out = ref "" in
+  let only_rules = ref [] in
   let paths = ref [] in
   let check_rule flag r =
     if not (Rules.is_known r) then begin
@@ -51,6 +53,10 @@ let () =
       ( "--warn-only",
         Arg.String (fun r -> warn_only := check_rule "--warn-only" r :: !warn_only),
         "RULE downgrade RULE to a non-fatal warning (repeatable)" );
+      ( "--only-rule",
+        Arg.String
+          (fun r -> only_rules := check_rule "--only-rule" r :: !only_rules),
+        "RULE keep only findings of RULE (repeatable)" );
       ("--deep", Arg.Set deep, " run the typed .cmt tier as well");
       ( "--cmt-dir",
         Arg.String (fun d -> cmt_dirs := d :: !cmt_dirs),
@@ -67,6 +73,10 @@ let () =
         Arg.Set_string shared_state_out,
         "FILE write the shard-confinement inventory to FILE (.json for \
          the machine-readable artifact, else the committed text format)" );
+      ( "--ownership-out",
+        Arg.Set_string ownership_out,
+        "FILE write the ownership-tier inventory to FILE (.json for the \
+         machine-readable artifact, else the committed text format)" );
     ]
   in
   let usage = "planck_lint [options] PATH..." in
@@ -102,10 +112,14 @@ let () =
           dead_export = !dead_export;
           shared_state_out =
             (if !shared_state_out = "" then None else Some !shared_state_out);
+          ownership_out =
+            (if !ownership_out = "" then None else Some !ownership_out);
         }
   in
   let result =
-    try Engine.lint_paths ?deep:deep_opts (List.rev !paths)
+    try
+      Engine.lint_paths ?deep:deep_opts ~only_rules:(List.rev !only_rules)
+        (List.rev !paths)
     with Failure msg ->
       prerr_endline ("planck_lint: " ^ msg);
       exit 2

@@ -154,7 +154,16 @@ type deep_options = {
       (* write the shard-confinement inventory here; .json suffix
          selects the JSON artifact format, anything else the committed
          text format *)
+  ownership_out : string option;
+      (* same for the ownership-tier inventory (transfer sites, SPSC
+         roles, blocking reaches) *)
 }
+
+let write_inventory path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
 
 (* Build the per-file map of deep findings for the walked file set.
    Deep findings on files outside the walk (e.g. test/ when linting
@@ -176,17 +185,22 @@ let deep_findings_by_file ~deep ~walked =
         (match d.shared_state_out with
         | None -> ()
         | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out_noerr oc)
-              (fun () ->
-                output_string oc
-                  (if Filename.check_suffix path ".json" then
-                     Lint_domain_rules.inventory_json domain_entries
-                   else Lint_domain_rules.inventory_text domain_entries)));
+            write_inventory path
+              (if Filename.check_suffix path ".json" then
+                 Lint_domain_rules.inventory_json domain_entries
+               else Lint_domain_rules.inventory_text domain_entries));
+        (match d.ownership_out with
+        | None -> ()
+        | Some path ->
+            let entries = Lint_ownership_rules.inventory dr in
+            write_inventory path
+              (if Filename.check_suffix path ".json" then
+                 Lint_ownership_rules.inventory_json entries
+               else Lint_ownership_rules.inventory_text entries));
         let findings =
           Lint_deep_rules.findings ~dead_export:d.dead_export dr
           @ Lint_domain_rules.findings ~entries:domain_entries dr
+          @ Lint_ownership_rules.findings dr
         in
         let entries =
           match d.baseline_file with
@@ -211,7 +225,7 @@ let deep_findings_by_file ~deep ~walked =
           Lint_cmt_index.has_file ix )
       end
 
-let lint_paths ?deep paths =
+let lint_paths ?deep ?(only_rules = []) paths =
   let files =
     List.fold_left collect_files [] paths |> List.sort_uniq String.compare
   in
@@ -251,8 +265,12 @@ let lint_paths ?deep paths =
         suppressed_count := !suppressed_count + List.length drop
       end)
     files;
+  let kept =
+    if only_rules = [] then !kept
+    else List.filter (fun (f : F.t) -> List.mem f.F.rule only_rules) !kept
+  in
   {
-    kept = List.sort F.compare_by_location !kept;
+    kept = List.sort F.compare_by_location kept;
     suppressed_count = !suppressed_count;
     baselined_count;
     files_linted = !files_linted;

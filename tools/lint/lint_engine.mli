@@ -46,9 +46,13 @@ type deep_options = {
           suffix selects the machine-readable artifact format, anything
           else the committed text format of
           [tools/lint/shared_state.txt] *)
+  ownership_out : string option;
+      (** same for the ownership-tier inventory (transfer sites, SPSC
+          roles, blocking reaches) of [tools/lint/ownership.txt] *)
 }
 
-val lint_paths : ?deep:deep_options -> string list -> result
+val lint_paths :
+  ?deep:deep_options -> ?only_rules:string list -> string list -> result
 (** Walk files and directories (recursively; [_build] and dotfiles are
     skipped), lint every [.ml], and apply the missing-mli rule using the
     sibling [.mli] set. Paths are reported as given, so run from the
@@ -58,4 +62,6 @@ val lint_paths : ?deep:deep_options -> string list -> result
     suppressions apply to both tiers); files without a cmt keep the
     full syntactic tier. Deep findings on files outside the walked set
     are dropped. If no cmt artifacts are found the run degrades to
-    syntactic with a warning on stderr. *)
+    syntactic with a warning on stderr. A non-empty [only_rules]
+    restricts [kept] to those rule ids after suppression and baseline
+    handling — counters still reflect the full run. *)

@@ -1,0 +1,58 @@
+(** The ownership / transfer-safety tier.
+
+    Four rules over the ownership facts the index records plus the
+    domain tier's shard closure: [use-after-transfer] (a mutable local
+    is read/written/RMW'd after flowing into [Spsc.push] /
+    [Timer.cancel] on some path), [spsc-role-confinement] (one
+    channel's push sites — or pop/peek/drain sites — are reachable
+    from more than one shard root), [blocking-in-shard-body]
+    (Mutex/Condition/Domain.join/Unix-I/O/console reachable from a
+    shard closure) and [release-leak] ([Buffer_pool.try_alloc]
+    succeeded but a raise escapes before any release). Findings carry
+    stable [(rule, symbol)] keys for the committed baseline, and the
+    fact base renders into the committed [tools/lint/ownership.txt]
+    inventory with a drift self-check, mirroring the domain tier's
+    [shared_state.txt]. *)
+
+type attribution
+(** Per-shard-root forward closures; defs no spawned body reaches are
+    attributed to the ["(main)"] pseudo-root. *)
+
+val attribution : Lint_deep_rules.t -> attribution
+val roots_of : attribution -> string -> string list
+(** The shard roots whose closure contains the def; [["(main)"]] when
+    none does. Never empty. *)
+
+val use_after_transfer_findings : Lint_deep_rules.t -> Lint_finding.t list
+val release_leak_findings : Lint_deep_rules.t -> Lint_finding.t list
+
+val spsc_findings : ?at:attribution -> Lint_deep_rules.t -> Lint_finding.t list
+(** Fires per (channel, role) when the role's call sites span ≥ 2
+    distinct roots. A single root driving both roles is statically
+    clean — the multi-instance case is the [Spsc] debug check's job. *)
+
+val blocking_findings :
+  ?closure:Lint_callgraph.closure -> Lint_deep_rules.t -> Lint_finding.t list
+
+val findings : Lint_deep_rules.t -> Lint_finding.t list
+(** All four rules, sorted by location. [lib/] scope only. *)
+
+type entry = { o_kind : string; o_symbol : string; o_detail : string }
+(** Kinds: [transfer-site] (symbol [def:point]), [spsc-producer] /
+    [spsc-consumer] (symbol [chan:def]), [blocking-reach] (symbol
+    [def:op], detail the shard-root witness chain). *)
+
+val inventory : Lint_deep_rules.t -> entry list
+(** Every ownership fact in [lib/], deduped on (kind, symbol), sorted. *)
+
+val inventory_text : entry list -> string
+(** The committed-file format: [<kind> <symbol> -- <detail>] with a
+    comment header. Line-number-free, so the file survives churn. *)
+
+val inventory_json : entry list -> string
+(** The CI-artifact format:
+    [{"version":1,"ownership":[{kind,symbol,detail}]}]. *)
+
+val load_inventory : string -> ((string * string) list, string) result
+(** Parse a committed inventory back to [(kind, symbol)] pairs — the
+    projection the repo self-check compares against {!inventory}. *)

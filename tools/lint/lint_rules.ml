@@ -179,6 +179,52 @@ let catalog =
          binding, if nothing else uses it) or baseline it with a \
          one-line justification.";
     };
+    {
+      id = "use-after-transfer";
+      group = "ownership";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a mutable local is read, written or RMW'd after \
+         it flowed into a transfer point (Spsc.push hands the frame to \
+         the consumer shard, Engine.Timer.cancel kills the handle) on \
+         some path through the same binding. The new owner may be \
+         mutating it concurrently; copy what you need before the \
+         hand-off. Immutable payloads are exempt.";
+    };
+    {
+      id = "spsc-role-confinement";
+      group = "ownership";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: one SPSC channel's push call sites (or its \
+         pop/peek/drain sites) are reachable from more than one \
+         Domain.spawn shard root. The queue is single-producer/ \
+         single-consumer by construction; a second domain on either \
+         role loses frames. The complementary dynamic check is \
+         Planck_util.Spsc.set_debug.";
+    };
+    {
+      id = "blocking-in-shard-body";
+      group = "ownership";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: a call that can park the running domain \
+         (Mutex.lock, Condition.wait, Domain.join, Unix I/O, console \
+         formatters) is transitively reachable from a shard closure or \
+         hot root. A parked shard stalls the sense-reversing barrier \
+         for every shard; move it off the shard path or baseline the \
+         documented design points.";
+    };
+    {
+      id = "release-leak";
+      group = "ownership";
+      default_severity = F.Error;
+      doc =
+        "Deep tier only: Buffer_pool.try_alloc succeeded but a direct \
+         raise-family call escapes the success branch before any \
+         Buffer_pool.release. The admitted bytes leak from the pool \
+         accounting; release on the exception edge and re-raise.";
+    };
   ]
 
 (* Syntactic rules the deep tier replaces: when a file is covered by

@@ -1,0 +1,484 @@
+(* Intraprocedural ownership scan over one typedtree expression.
+
+   The ownership tier models *transfer points* as call sites: once a
+   local binding flows into [Spsc.push] (the frame now belongs to the
+   consumer shard) or [Engine.Timer.cancel] (the handle is dead), the
+   old owner touching it again is a bug the type system cannot see.
+   This module walks a single structure-level binding's body in
+   evaluation order and reports two per-function facts:
+
+   - uses after transfer: the same local (or an alias of it — [let y =
+     x] joins the alias class) reaching a field read/write, a
+     deref-family operator, an indexed access, or a second transfer
+     point after it was handed off on the current path. Plain
+     pass-to-function is deliberately NOT a use: re-arming a cancelled
+     timer via [Timer.reschedule t] is the documented reuse idiom, and
+     flagging every argument position would bury the signal.
+
+   - release leaks: a path where [Buffer_pool.try_alloc] succeeded and
+     a raise-family call escapes the success branch before any
+     [Buffer_pool.release] — the admitted bytes leak from the pool
+     accounting. Only *direct* raises outside a [try] count; requiring
+     the raise to be syntactically on the path keeps the rule's
+     false-positive rate at zero on a codebase where most callees can
+     raise something.
+
+   Branches are walked from a snapshot and union-merged (a transfer on
+   either arm kills the binding afterwards); loop bodies are walked
+   twice so a transfer on iteration [n] flags a use on iteration
+   [n+1]; a fresh pattern binding of the same ident resurrects it
+   (each iteration of [match pop () with Some pkt -> ...] is a new
+   value). Lambda bodies inherit the dead set — a closure created
+   after the hand-off and scheduled for later runs after it too — but
+   kills inside a lambda do not escape, and outer allocation scopes are
+   masked there (the body does not run on the allocation path).
+
+   The walker is resolver-parameterized so [Lint_cmt_index] can feed
+   it its path normalisation without a dependency cycle; locals are
+   exactly the paths the resolver maps to [None]. *)
+
+type use_kind = Uread | Uwrite | Urmw | Utransfer
+
+let use_verb = function
+  | Uread -> "read"
+  | Uwrite -> "written"
+  | Urmw -> "read-modify-written"
+  | Utransfer -> "transferred again"
+
+type use = {
+  u_var : string;  (** source name of the transferred binding *)
+  u_point : string;  (** transfer pattern, e.g. ["Spsc.push"] *)
+  u_kind : use_kind;
+  u_transfer_line : int;
+  u_line : int;
+  u_col : int;
+  u_ty : Types.type_expr;  (** type of the transferred value *)
+}
+
+type leak = {
+  k_raise : string;  (** the raise-family callee *)
+  k_alloc_line : int;  (** the successful [try_alloc] condition *)
+  k_line : int;
+  k_col : int;
+}
+
+(* ---- Dotted-suffix matching ----
+
+   A local copy of [Lint_cmt_index.suffix_matches] (this module must
+   stay below the index in the dependency order): the leftmost pattern
+   component may match a component suffix only at a "__" boundary, so
+   "Spsc.push" matches "Planck_util__Spsc.push" and "Fix.Spsc.push"
+   but not "X.flush". *)
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let suffix_matches ~pattern target =
+  let p = String.split_on_char '.' pattern
+  and c = String.split_on_char '.' target in
+  let np = List.length p and nc = List.length c in
+  if nc < np then false
+  else
+    let tail = List.filteri (fun i _ -> i >= nc - np) c in
+    match (p, tail) with
+    | p0 :: prest, c0 :: crest ->
+        (c0 = p0 || ends_with ~suffix:("__" ^ p0) c0) && prest = crest
+    | _ -> false
+
+(* ---- Interesting call targets ---- *)
+
+(* pattern, positional index (among [Nolabel] args) of the operand
+   whose ownership moves. [Buffer_pool.release] transfers too, but its
+   operands are ints — nothing to track; the pairing discipline is
+   enforced by the leak scan instead. *)
+let transfer_points = [ ("Spsc.push", 1); ("Timer.cancel", 0) ]
+
+let transfer_point_of name =
+  List.find_opt (fun (p, _) -> suffix_matches ~pattern:p name) transfer_points
+
+let deref_ops =
+  [
+    ("Stdlib.!", Uread);
+    ("Stdlib.:=", Uwrite);
+    ("Stdlib.incr", Urmw);
+    ("Stdlib.decr", Urmw);
+  ]
+
+let indexed_ops =
+  [
+    ("Stdlib.Array.get", Uread);
+    ("Stdlib.Array.unsafe_get", Uread);
+    ("Stdlib.Array.set", Uwrite);
+    ("Stdlib.Array.unsafe_set", Uwrite);
+    ("Stdlib.Bytes.get", Uread);
+    ("Stdlib.Bytes.unsafe_get", Uread);
+    ("Stdlib.Bytes.set", Uwrite);
+    ("Stdlib.Bytes.unsafe_set", Uwrite);
+    ("Stdlib.Atomic.get", Uread);
+    ("Stdlib.Atomic.set", Uwrite);
+    ("Stdlib.Atomic.exchange", Urmw);
+    ("Stdlib.Atomic.compare_and_set", Urmw);
+    ("Stdlib.Atomic.fetch_and_add", Urmw);
+    ("Stdlib.Atomic.incr", Urmw);
+    ("Stdlib.Atomic.decr", Urmw);
+  ]
+
+let raise_like =
+  [
+    "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg"; "Stdlib.exit";
+  ]
+
+let is_try_alloc name = suffix_matches ~pattern:"Buffer_pool.try_alloc" name
+let is_release name = suffix_matches ~pattern:"Buffer_pool.release" name
+
+(* ---- Scan state ---- *)
+
+module IMap = Map.Make (Int)
+
+module ITbl = Hashtbl.Make (struct
+  type t = Ident.t
+
+  let equal = Ident.same
+  let hash = Hashtbl.hash
+end)
+
+type dead_info = {
+  di_var : string;
+  di_point : string;
+  di_line : int;
+  di_ty : Types.type_expr;
+}
+
+type alloc_scope = { a_line : int; mutable a_released : bool }
+
+type state = {
+  resolve : Path.t -> string option;
+  classes : int ITbl.t;  (* ident -> alias class *)
+  alloc_oks : int ITbl.t;  (* bool local bound to a try_alloc -> its line *)
+  mutable next_class : int;
+  mutable dead : dead_info IMap.t;  (* alias class -> transfer that killed it *)
+  mutable allocs : alloc_scope list;  (* innermost-first try_alloc successes *)
+  mutable try_depth : int;
+  mutable uses : use list;
+  mutable leaks : leak list;
+  reported : (int * int * string, unit) Hashtbl.t;
+      (* loop bodies are walked twice; report each (line, col, kind) once *)
+}
+
+let class_of st id =
+  match ITbl.find_opt st.classes id with
+  | Some c -> c
+  | None ->
+      let c = st.next_class in
+      st.next_class <- c + 1;
+      ITbl.replace st.classes id c;
+      c
+
+(* a fresh (non-alias) binding of [id] starts a new value: resurrect *)
+let fresh_bind st id = st.dead <- IMap.remove (class_of st id) st.dead
+
+let pos_of loc =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let local_ident st (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident ((Path.Pident id as p), _, _) -> (
+      match st.resolve p with
+      | None -> Some id
+      | Some _ -> None (* a structure-level binding, not a local *))
+  | _ -> None
+
+let report_use st ~info ~kind loc =
+  let line, col = pos_of loc in
+  let key = (line, col, use_verb kind) in
+  if not (Hashtbl.mem st.reported key) then begin
+    Hashtbl.replace st.reported key ();
+    st.uses <-
+      {
+        u_var = info.di_var;
+        u_point = info.di_point;
+        u_kind = kind;
+        u_transfer_line = info.di_line;
+        u_line = line;
+        u_col = col;
+        u_ty = info.di_ty;
+      }
+      :: st.uses
+  end
+
+(* [e] used as a value whose identity matters (field access, deref,
+   indexed op, second transfer): report if its alias class is dead *)
+let check_use st ~kind (e : Typedtree.expression) =
+  match local_ident st e with
+  | None -> ()
+  | Some id -> (
+      match IMap.find_opt (class_of st id) st.dead with
+      | Some info -> report_use st ~info ~kind e.Typedtree.exp_loc
+      | None -> ())
+
+let report_leak st ~name loc =
+  match List.find_opt (fun a -> not a.a_released) st.allocs with
+  | None -> ()
+  | Some scope ->
+      let line, col = pos_of loc in
+      let key = (line, col, "leak") in
+      if not (Hashtbl.mem st.reported key) then begin
+        Hashtbl.replace st.reported key ();
+        st.leaks <-
+          {
+            k_raise = name;
+            k_alloc_line = scope.a_line;
+            k_line = line;
+            k_col = col;
+          }
+          :: st.leaks
+      end
+
+let fn_name st (fn : Typedtree.expression) =
+  match fn.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> st.resolve p
+  | _ -> None
+
+(* positional (Nolabel) arguments, in order, with their index *)
+let positional args =
+  let i = ref (-1) in
+  List.filter_map
+    (fun (lbl, a) ->
+      match (lbl, a) with
+      | Asttypes.Nolabel, Some a ->
+          incr i;
+          Some (!i, a)
+      | _ -> None)
+    args
+
+let merge d1 d2 = IMap.union (fun _ a _ -> Some a) d1 d2
+
+(* ---- The walker ---- *)
+
+let rec go st (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident _ | Typedtree.Texp_constant _
+  | Typedtree.Texp_unreachable ->
+      ()
+  | Typedtree.Texp_let (_, vbs, body) ->
+      List.iter (bind_vb st) vbs;
+      go st body
+  | Typedtree.Texp_sequence (a, b) ->
+      go st a;
+      go st b
+  | Typedtree.Texp_apply (fn, args) -> apply st fn args
+  | Typedtree.Texp_field (obj, _, _) ->
+      check_use st ~kind:Uread obj;
+      go st obj
+  | Typedtree.Texp_setfield (obj, _, _, v) ->
+      check_use st ~kind:Uwrite obj;
+      go st obj;
+      go st v
+  | Typedtree.Texp_record { fields; extended_expression; _ } ->
+      (* [{ x with ... }] reads the kept fields of [x] *)
+      Option.iter
+        (fun ex ->
+          check_use st ~kind:Uread ex;
+          go st ex)
+        extended_expression;
+      Array.iter
+        (fun (_, def) ->
+          match def with
+          | Typedtree.Overridden (_, ex) -> go st ex
+          | Typedtree.Kept _ -> ())
+        fields
+  | Typedtree.Texp_ifthenelse (cond, then_, else_) ->
+      let alloc_line = alloc_cond st cond in
+      go st cond;
+      let before = st.dead in
+      (match alloc_line with
+      | Some a_line ->
+          let scope = { a_line; a_released = false } in
+          st.allocs <- scope :: st.allocs;
+          go st then_;
+          st.allocs <- List.tl st.allocs
+      | None -> go st then_);
+      let after_then = st.dead in
+      st.dead <- before;
+      Option.iter (go st) else_;
+      st.dead <- merge after_then st.dead
+  | Typedtree.Texp_match (scrut, cases, _) ->
+      go st scrut;
+      branch_cases st cases
+  | Typedtree.Texp_try (body, handlers) ->
+      let before = st.dead in
+      st.try_depth <- st.try_depth + 1;
+      go st body;
+      st.try_depth <- st.try_depth - 1;
+      let after_body = st.dead in
+      (* handlers resume from an arbitrary point inside the body; start
+         them from the pre-try state to stay conservative-but-quiet *)
+      st.dead <- before;
+      branch_cases st handlers;
+      st.dead <- merge after_body st.dead
+  | Typedtree.Texp_while (cond, body) ->
+      (* twice: a transfer on iteration n must flag a use on n+1 *)
+      for _ = 1 to 2 do
+        go st cond;
+        go st body
+      done
+  | Typedtree.Texp_for (id, _, lo, hi, _, body) ->
+      go st lo;
+      go st hi;
+      for _ = 1 to 2 do
+        fresh_bind st id;
+        go st body
+      done
+  | Typedtree.Texp_function { cases; _ } ->
+      (* deferred body: inherits the dead set (a closure built after
+         the hand-off runs after it too) but its kills stay inside, and
+         outer allocation scopes are masked — the body does not run on
+         the allocation path *)
+      let before_dead = st.dead and before_allocs = st.allocs in
+      st.allocs <- [];
+      List.iter
+        (fun c ->
+          st.dead <- before_dead;
+          List.iter (fresh_bind st)
+            (Typedtree.pat_bound_idents c.Typedtree.c_lhs);
+          Option.iter (go st) c.Typedtree.c_guard;
+          go st c.Typedtree.c_rhs)
+        cases;
+      st.dead <- before_dead;
+      st.allocs <- before_allocs
+  | _ -> fallback st e
+
+(* arbitrary-order children (tuples, constructors, arrays, assert,
+   letmodule bodies, ...): same state — evaluation order of the
+   remaining constructs does not matter to this analysis *)
+and fallback st e =
+  let it =
+    { Tast_iterator.default_iterator with expr = (fun _ e' -> go st e') }
+  in
+  Tast_iterator.default_iterator.expr it e
+
+and branch_cases : 'k. state -> 'k Typedtree.case list -> unit =
+ fun st cases ->
+  match cases with
+  | [] -> ()
+  | _ ->
+      let before = st.dead in
+      let out = ref None in
+      List.iter
+        (fun c ->
+          st.dead <- before;
+          List.iter (fresh_bind st)
+            (Typedtree.pat_bound_idents c.Typedtree.c_lhs);
+          Option.iter (go st) c.Typedtree.c_guard;
+          go st c.Typedtree.c_rhs;
+          out :=
+            Some (match !out with None -> st.dead | Some d -> merge d st.dead))
+        cases;
+      (match !out with Some d -> st.dead <- d | None -> ())
+
+and bind_vb st (vb : Typedtree.value_binding) =
+  go st vb.Typedtree.vb_expr;
+  match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> (
+      match local_ident st vb.Typedtree.vb_expr with
+      | Some src ->
+          (* [let y = x]: y joins x's alias class — a transfer through
+             either name kills both *)
+          ITbl.replace st.classes id (class_of st src)
+      | None -> (
+          fresh_bind st id;
+          (* [let ok = Buffer_pool.try_alloc ...]: remember so a later
+             [if ok then ...] opens the allocation-success scope *)
+          match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+          | Typedtree.Texp_apply (fn, _) -> (
+              match fn_name st fn with
+              | Some n when is_try_alloc n ->
+                  ITbl.replace st.alloc_oks id
+                    (fst (pos_of vb.Typedtree.vb_expr.Typedtree.exp_loc))
+              | _ -> ())
+          | _ -> ()))
+  | _ ->
+      List.iter (fresh_bind st) (Typedtree.pat_bound_idents vb.Typedtree.vb_pat)
+
+(* is this if-condition a successful try_alloc? either the call itself
+   or a bool local bound to one ([let ok = try_alloc ... in if ok]) *)
+and alloc_cond st (cond : Typedtree.expression) =
+  match cond.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (fn, _) -> (
+      match fn_name st fn with
+      | Some n when is_try_alloc n -> Some (fst (pos_of cond.Typedtree.exp_loc))
+      | _ -> None)
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> ITbl.find_opt st.alloc_oks id
+  | _ -> None
+
+and apply st fn args =
+  (match fn.Typedtree.exp_desc with
+  | Typedtree.Texp_ident _ -> ()
+  | _ -> go st fn);
+  let name = fn_name st fn in
+  let pos_args = positional args in
+  let walk_all () = List.iter (fun (_, a) -> Option.iter (go st) a) args in
+  match name with
+  | Some n when transfer_point_of n <> None -> (
+      let point, idx = Option.get (transfer_point_of n) in
+      walk_all ();
+      (* the transferred operand, when it is a trackable local: check
+         for a second transfer, then kill its alias class *)
+      match List.find_opt (fun (i, _) -> i = idx) pos_args with
+      | Some (_, op_e) -> (
+          match local_ident st op_e with
+          | None -> ()
+          | Some id ->
+              let c = class_of st id in
+              (match IMap.find_opt c st.dead with
+              | Some info ->
+                  report_use st ~info ~kind:Utransfer op_e.Typedtree.exp_loc
+              | None -> ());
+              st.dead <-
+                IMap.add c
+                  {
+                    di_var = Ident.name id;
+                    di_point = point;
+                    di_line = fst (pos_of fn.Typedtree.exp_loc);
+                    di_ty = op_e.Typedtree.exp_type;
+                  }
+                  st.dead)
+      | None -> ())
+  | Some n when List.mem_assoc n deref_ops -> (
+      let kind = List.assoc n deref_ops in
+      (match pos_args with (_, first) :: _ -> check_use st ~kind first | [] -> ());
+      walk_all ())
+  | Some n when List.mem_assoc n indexed_ops -> (
+      let kind = List.assoc n indexed_ops in
+      (match pos_args with (_, first) :: _ -> check_use st ~kind first | [] -> ());
+      walk_all ())
+  | Some n when List.mem n raise_like ->
+      if st.try_depth = 0 then report_leak st ~name:n fn.Typedtree.exp_loc;
+      walk_all ()
+  | Some n when is_release n ->
+      List.iter (fun a -> a.a_released <- true) st.allocs;
+      walk_all ()
+  | _ -> walk_all ()
+
+(* ---- Entry point ---- *)
+
+let scan ~resolve (e : Typedtree.expression) =
+  let st =
+    {
+      resolve;
+      classes = ITbl.create 32;
+      alloc_oks = ITbl.create 8;
+      next_class = 0;
+      dead = IMap.empty;
+      allocs = [];
+      try_depth = 0;
+      uses = [];
+      leaks = [];
+      reported = Hashtbl.create 16;
+    }
+  in
+  go st e;
+  (List.rev st.uses, List.rev st.leaks)
